@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+experiment once under pytest-benchmark (the timing is the harness cost,
+the *results* are the simulated series), prints the paper-style rows,
+stores them in ``benchmark.extra_info`` for the JSON output, and asserts
+the qualitative shape the paper reports.
+"""
+
+import sys
+
+
+def emit(title, text):
+    """Print a result block so it survives pytest's capture (-s not
+    required: benchmark output sections show on the terminal report)."""
+    banner = "\n%s\n%s\n%s\n" % ("=" * len(title), title, "=" * len(title))
+    sys.stderr.write(banner + text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Ablation A-burst: burst size on the bypass vs the vSwitch path.
+
+Both paths amortize a fixed per-iteration overhead over the burst, so
+throughput grows with burst size and saturates; the bypass keeps its
+advantage at every burst size.  (The paper's prototype inherits DPDK's
+default 32.)
+"""
+
+from repro.experiments import ChainExperiment
+from repro.metrics import format_table
+
+from benchmarks.conftest import emit, run_once
+
+BURSTS = [1, 4, 8, 16, 32, 64]
+DURATION = 0.0015
+
+
+def sweep():
+    results = {}
+    for burst in BURSTS:
+        vanilla = ChainExperiment(num_vms=3, bypass=False,
+                                  duration=DURATION,
+                                  burst_size=burst).run()
+        ours = ChainExperiment(num_vms=3, bypass=True, duration=DURATION,
+                               burst_size=burst).run()
+        results[burst] = (vanilla.throughput_mpps, ours.throughput_mpps)
+    return results
+
+
+def test_burst_size_sweep(benchmark):
+    results = run_once(benchmark, sweep)
+    rows = [
+        [burst, round(v, 2), round(o, 2)]
+        for burst, (v, o) in results.items()
+    ]
+    emit("Ablation: burst size, 3-VM memory chain [Mpps]",
+         format_table(["burst", "traditional", "our approach"], rows))
+    benchmark.extra_info["results"] = {
+        str(burst): values for burst, values in results.items()
+    }
+
+    for burst, (vanilla, ours) in results.items():
+        assert ours > vanilla, "bypass wins at burst=%d" % burst
+    # Throughput grows with burst until the per-packet cost dominates.
+    assert results[32][0] > 1.5 * results[1][0]
+    assert results[32][1] > 1.5 * results[1][1]
+    # Saturation: 32 -> 64 gains little.
+    assert results[64][1] < 1.25 * results[32][1]

@@ -1,0 +1,78 @@
+"""Ablations A-cores and A-emc: what the vSwitch bottleneck is made of.
+
+The paper's Figure 3 decay exists because every chain hop shares the
+OVS-DPDK PMD cores.  Two ablations probe that explanation:
+
+* A-cores — give vanilla OVS more PMD cores: its throughput scales with
+  them, while the bypass chain barely cares (its hops never touch OVS);
+* A-emc — disable the exact-match cache: vanilla slows down (every
+  packet pays the tuple-space classifier), the bypass does not.
+"""
+
+from repro.experiments import ChainExperiment
+from repro.metrics import format_table
+
+from benchmarks.conftest import emit, run_once
+
+DURATION = 0.0015
+
+
+def sweep_cores():
+    results = {}
+    for cores in (1, 2, 4):
+        vanilla = ChainExperiment(num_vms=4, bypass=False,
+                                  duration=DURATION,
+                                  n_ovs_cores=cores).run()
+        ours = ChainExperiment(num_vms=4, bypass=True, duration=DURATION,
+                               n_ovs_cores=cores).run()
+        results[cores] = (vanilla.throughput_mpps, ours.throughput_mpps)
+    return results
+
+
+def test_ovs_core_scaling(benchmark):
+    results = run_once(benchmark, sweep_cores)
+    rows = [[cores, round(v, 2), round(o, 2)]
+            for cores, (v, o) in results.items()]
+    emit("Ablation: OVS PMD cores, 4-VM memory chain [Mpps]",
+         format_table(["OVS cores", "traditional", "our approach"], rows))
+    benchmark.extra_info["results"] = {
+        str(k): v for k, v in results.items()
+    }
+
+    # Vanilla scales with vSwitch cores...
+    assert results[2][0] > 1.5 * results[1][0]
+    assert results[4][0] > 1.4 * results[2][0]
+    # ...the bypass chain is indifferent to them.
+    ours = [o for _v, o in results.values()]
+    assert min(ours) > 0.85 * max(ours)
+    # And still wins even against a 4-core vSwitch.
+    assert results[4][1] > results[4][0]
+
+
+def sweep_emc():
+    results = {}
+    for emc in (True, False):
+        vanilla = ChainExperiment(num_vms=3, bypass=False,
+                                  duration=DURATION,
+                                  emc_enabled=emc).run()
+        ours = ChainExperiment(num_vms=3, bypass=True, duration=DURATION,
+                               emc_enabled=emc).run()
+        results[emc] = (vanilla.throughput_mpps, ours.throughput_mpps)
+    return results
+
+
+def test_emc_contribution(benchmark):
+    results = run_once(benchmark, sweep_emc)
+    rows = [
+        ["EMC on" if emc else "EMC off", round(v, 2), round(o, 2)]
+        for emc, (v, o) in results.items()
+    ]
+    emit("Ablation: exact-match cache, 3-VM memory chain [Mpps]",
+         format_table(["variant", "traditional", "our approach"], rows))
+
+    vanilla_on, ours_on = results[True]
+    vanilla_off, ours_off = results[False]
+    # Losing the EMC hurts the vSwitch path...
+    assert vanilla_off < 0.75 * vanilla_on
+    # ...and leaves the bypass path untouched.
+    assert abs(ours_off - ours_on) < 0.1 * ours_on

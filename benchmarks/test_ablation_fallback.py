@@ -1,0 +1,111 @@
+"""Ablation A-fallback: dynamic fallback under live traffic, zero loss.
+
+Design decision 2 in DESIGN.md: establishment is make-before-break and
+teardown is break-before-make with a drain phase, so flipping a port
+between bypass and vSwitch path mid-stream must not lose packets.  This
+bench runs continuous traffic through one link while the controller
+revokes and restores the p-2-p property, and checks conservation plus
+the delivered-rate dip around each transition.
+"""
+
+from repro.openflow.actions import OutputAction
+from repro.openflow.match import Match
+from repro.orchestration import NfvNode
+from repro.packet.headers import ETH_TYPE_IPV4, IP_PROTO_TCP
+from repro.sim.engine import Environment
+from repro.traffic import SinkApp, SourceApp
+from repro.metrics import format_table
+
+from benchmarks.conftest import emit, run_once
+
+RATE = 2e6
+
+
+def run_fallback():
+    env = Environment()
+    node = NfvNode(env=env)
+    node.create_vm("vm1", ["dpdkr0"])
+    node.create_vm("vm2", ["dpdkr1"])
+    node.create_vm("vm3", ["dpdkr2"])
+    node.switch.start()
+    source = SourceApp("src", node.vms["vm1"].pmd("dpdkr0"),
+                       rate_pps=RATE, pool_size=16384)
+    sink = SinkApp("sink", node.vms["vm2"].pmd("dpdkr1"))
+    web_sink = SinkApp("sink.web", node.vms["vm3"].pmd("dpdkr2"))
+    source.start(env)
+    sink.start(env)
+    web_sink.start(env)
+    node.install_p2p_rule("dpdkr0", "dpdkr1")
+    env.run(until=env.now + 0.2)
+    checkpoints = {"established": (env.now, sink.received)}
+
+    divert = Match(in_port=node.ofport("dpdkr0"),
+                   eth_type=ETH_TYPE_IPV4, ip_proto=IP_PROTO_TCP,
+                   l4_dst=80)
+    node.controller.install_flow(
+        divert, [OutputAction(node.ofport("dpdkr2"))], priority=0xF000
+    )
+    env.run(until=env.now + 0.2)
+    checkpoints["fallback"] = (env.now, sink.received)
+
+    node.controller.delete_flow(divert, strict=True, priority=0xF000)
+    env.run(until=env.now + 0.2)
+    checkpoints["restored"] = (env.now, sink.received)
+
+    source.stop()
+    env.run(until=env.now + 0.02)
+    return node, source, sink, web_sink, checkpoints
+
+
+def test_fallback_zero_loss(benchmark):
+    node, source, sink, web_sink, checkpoints = run_once(
+        benchmark, run_fallback
+    )
+    generated = source.generated
+    delivered = sink.received + web_sink.received
+    in_flight = source.pool.size - source.pool.available
+    lost = generated - delivered - in_flight
+
+    t0, c0 = checkpoints["established"]
+    t1, c1 = checkpoints["fallback"]
+    t2, c2 = checkpoints["restored"]
+    rate_during_fallback = (c1 - c0) / (t1 - t0) / 1e6
+    rate_after_restore = (c2 - c1) / (t2 - t1) / 1e6
+
+    link_states = [link.state.value for link in node.manager.history]
+    stall_rejects = node.vms["vm1"].pmd("dpdkr0").tx_stall_rejects
+    emit(
+        "Ablation: dynamic fallback under 2 Mpps live traffic",
+        format_table(
+            ["metric", "value"],
+            [
+                ["generated", generated],
+                ["delivered", delivered],
+                ["in flight", in_flight],
+                ["lost", lost],
+                ["salvaged at teardown",
+                 node.manager.history[0].teardown_request.salvaged_packets],
+                ["refused during teardown stall", stall_rejects],
+                ["Mpps across fallback window",
+                 round(rate_during_fallback, 3)],
+                ["Mpps after re-establishment",
+                 round(rate_after_restore, 3)],
+                ["link history", " / ".join(link_states)],
+            ],
+        ),
+    )
+    benchmark.extra_info["lost"] = lost
+
+    assert lost == 0, "fallback must not lose packets"
+    # The offered load is far below both paths' capacity.  The ordered
+    # teardown stalls the sender for ~2 virtio-serial RTTs inside the
+    # fallback window (the price of zero reordering — see A-handover),
+    # so the window's delivered rate dips by that bounded amount; after
+    # re-establishment the full rate is back.
+    assert rate_during_fallback > 0.75 * RATE / 1e6
+    assert rate_after_restore > 0.9 * RATE / 1e6
+    # Every refused burst is bounded by the stall window.
+    assert stall_rejects < RATE * 0.05  # < 50 ms worth
+    # First link went through a full lifecycle; a fresh one is active.
+    assert link_states[0] == "removed"
+    assert node.active_bypasses == 1

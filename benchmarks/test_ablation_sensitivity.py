@@ -1,0 +1,57 @@
+"""Ablation A-sens: calibration sensitivity.
+
+Our substrate is a simulator, so absolute Mpps depend on the calibrated
+per-operation costs (DESIGN.md §6).  This bench scales every data-path
+cost by 0.5x / 1x / 2x and checks that the paper's *conclusions* — who
+wins, and that the gap grows with chain length — hold across the whole
+band, i.e. the reproduction does not hinge on one lucky constant.
+"""
+
+from repro.experiments import ChainExperiment
+from repro.metrics import format_table
+from repro.sim.costmodel import DEFAULT_COST_MODEL
+
+from benchmarks.conftest import emit, run_once
+
+DURATION = 0.0015
+SCALES = (0.5, 1.0, 2.0)
+
+
+def sweep():
+    results = {}
+    for scale in SCALES:
+        costs = DEFAULT_COST_MODEL.scaled(scale)
+        row = {}
+        for num_vms in (3, 6):
+            vanilla = ChainExperiment(num_vms=num_vms, bypass=False,
+                                      duration=DURATION, costs=costs).run()
+            ours = ChainExperiment(num_vms=num_vms, bypass=True,
+                                   duration=DURATION, costs=costs).run()
+            row[num_vms] = (vanilla.throughput_mpps,
+                            ours.throughput_mpps)
+        results[scale] = row
+    return results
+
+
+def test_cost_model_sensitivity(benchmark):
+    results = run_once(benchmark, sweep)
+    rows = []
+    for scale, row in results.items():
+        for num_vms, (vanilla, ours) in row.items():
+            rows.append([scale, num_vms, round(vanilla, 2),
+                         round(ours, 2), round(ours / vanilla, 1)])
+    emit(
+        "Ablation: data-path cost scaling (conclusion robustness)",
+        format_table(
+            ["cost scale", "# VMs", "traditional", "ours", "speedup"],
+            rows,
+        ),
+    )
+
+    for scale, row in results.items():
+        speedup_short = row[3][1] / row[3][0]
+        speedup_long = row[6][1] / row[6][0]
+        # Bypass wins at every calibration...
+        assert speedup_short > 1.2
+        # ...and the advantage grows with chain length at every one.
+        assert speedup_long > speedup_short

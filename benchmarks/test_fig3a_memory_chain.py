@@ -1,0 +1,61 @@
+"""Figure 3(a): throughput vs chain length, memory-only.
+
+Paper setup: chains of 2..8 VMs connected only through p-2-p links,
+first and last VM act as bidirectional 64 B traffic source/sink, no
+NIC/PCIe bottleneck.  Paper result (log-scale 0.1..1000 Mpps): the
+bypass curve sits far above vanilla OVS-DPDK at every length, and the
+vanilla curve decays with chain length because every inter-VM hop
+shares the vSwitch PMD cores.
+"""
+
+from repro.experiments import run_chain_sweep
+from repro.metrics import format_series, format_table
+
+from benchmarks.conftest import emit, run_once
+
+LENGTHS = list(range(2, 9))
+DURATION = 0.002
+
+
+def test_fig3a_memory_chain(benchmark):
+    def sweep():
+        vanilla = run_chain_sweep(LENGTHS, bypass=False, memory_only=True,
+                                  duration=DURATION)
+        ours = run_chain_sweep(LENGTHS, bypass=True, memory_only=True,
+                               duration=DURATION)
+        return vanilla, ours
+
+    vanilla, ours = run_once(benchmark, sweep)
+    vanilla_mpps = [r.throughput_mpps for r in vanilla]
+    ours_mpps = [r.throughput_mpps for r in ours]
+
+    rows = [
+        [n, round(v, 2), round(o, 2), round(o / v, 1)]
+        for n, v, o in zip(LENGTHS, vanilla_mpps, ours_mpps)
+    ]
+    emit(
+        "Figure 3(a): memory-only chain, bidirectional 64B [Mpps]",
+        format_table(["# VMs", "traditional", "our approach", "speedup"],
+                     rows)
+        + "\n" + format_series("traditional", LENGTHS, vanilla_mpps)
+        + "\n" + format_series("our approach", LENGTHS, ours_mpps),
+    )
+    benchmark.extra_info["lengths"] = LENGTHS
+    benchmark.extra_info["traditional_mpps"] = vanilla_mpps
+    benchmark.extra_info["ours_mpps"] = ours_mpps
+
+    # Paper shape assertions.
+    for v, o in zip(vanilla_mpps, ours_mpps):
+        assert o > v, "bypass must win at every chain length"
+    # Vanilla decays roughly as 1/(number of vSwitch hops).
+    assert vanilla_mpps[-1] < 0.3 * vanilla_mpps[0]
+    # Ours is roughly flat once the chain has forwarding VMs (N >= 3).
+    flat = ours_mpps[1:]
+    assert min(flat) > 0.8 * max(flat)
+    # The gap widens with chain length (log-scale divergence in Fig 3a).
+    assert ours_mpps[-1] / vanilla_mpps[-1] > 2 * (
+        ours_mpps[0] / vanilla_mpps[0]
+    )
+    # Every inter-VM link was actually bypassed.
+    for result in ours:
+        assert result.active_bypasses == 2 * (result.num_vms - 1)

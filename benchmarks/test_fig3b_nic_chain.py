@@ -1,0 +1,58 @@
+"""Figure 3(b): throughput vs chain length, traffic through the NICs.
+
+Paper setup: same chains, but bidirectional 64 B traffic is delivered
+and drained through two 10 G NICs (82599ES), so the NIC/PCIe path and
+the phy<->VM hops stay on the vSwitch in both approaches.  Paper result
+(linear axis): the two curves start together at 1 VM (no VM-to-VM link
+exists to accelerate), then vanilla falls away with chain length while
+the bypass curve stays flat.
+"""
+
+from repro.experiments import run_chain_sweep
+from repro.metrics import format_series, format_table
+from repro.sim.nic import line_rate_pps
+
+from benchmarks.conftest import emit, run_once
+
+LENGTHS = list(range(1, 9))
+DURATION = 0.002
+
+
+def test_fig3b_nic_chain(benchmark):
+    def sweep():
+        vanilla = run_chain_sweep(LENGTHS, bypass=False, memory_only=False,
+                                  duration=DURATION)
+        ours = run_chain_sweep(LENGTHS, bypass=True, memory_only=False,
+                               duration=DURATION)
+        return vanilla, ours
+
+    vanilla, ours = run_once(benchmark, sweep)
+    vanilla_mpps = [r.throughput_mpps for r in vanilla]
+    ours_mpps = [r.throughput_mpps for r in ours]
+
+    rows = [
+        [n, round(v, 2), round(o, 2)]
+        for n, v, o in zip(LENGTHS, vanilla_mpps, ours_mpps)
+    ]
+    emit(
+        "Figure 3(b): chain fed through two 10G NICs, bidirectional 64B "
+        "[Mpps]",
+        format_table(["# VMs", "traditional", "our approach"], rows)
+        + "\n" + format_series("traditional", LENGTHS, vanilla_mpps)
+        + "\n" + format_series("our approach", LENGTHS, ours_mpps),
+    )
+    benchmark.extra_info["lengths"] = LENGTHS
+    benchmark.extra_info["traditional_mpps"] = vanilla_mpps
+    benchmark.extra_info["ours_mpps"] = ours_mpps
+
+    # At one VM there is nothing to bypass: the curves coincide.
+    assert abs(ours_mpps[0] - vanilla_mpps[0]) < 0.15 * vanilla_mpps[0]
+    # Ours stays flat (phy hops bound it); vanilla decays.
+    assert min(ours_mpps) > 0.85 * max(ours_mpps)
+    assert vanilla_mpps[-1] < 0.45 * vanilla_mpps[0]
+    for v, o in zip(vanilla_mpps[1:], ours_mpps[1:]):
+        assert o > v
+    # Nothing exceeds bidirectional 64B line rate.
+    cap = 2 * line_rate_pps(64) / 1e6
+    for value in ours_mpps + vanilla_mpps:
+        assert value <= cap * 1.01

@@ -1,0 +1,65 @@
+"""A-graph: the Figure 1 service end to end, highway on vs off.
+
+Not a figure in the paper (its evaluation uses plain forwarder chains),
+but the workload its introduction motivates: firewall -> monitor with a
+web/non-web split through a cache.  The claim under test is service-
+level transparency: with the highway, application semantics (firewall
+verdicts, monitor flow counts, cache hit ratio, web/other split) are
+bit-identical while throughput improves.
+"""
+
+import pytest
+
+from repro.experiments import ServiceGraphExperiment
+from repro.metrics import format_table
+
+from benchmarks.conftest import emit, run_once
+
+DURATION = 0.005
+RATE = 8e6  # above the vanilla service's capacity, so both saturate
+
+
+def run_pair():
+    vanilla = ServiceGraphExperiment(bypass=False, duration=DURATION,
+                                     rate_pps=RATE).run()
+    ours = ServiceGraphExperiment(bypass=True, duration=DURATION,
+                                  rate_pps=RATE).run()
+    return vanilla, ours
+
+
+def test_service_graph(benchmark):
+    vanilla, ours = run_once(benchmark, run_pair)
+    rows = []
+    for result in (vanilla, ours):
+        rows.append([
+            "highway" if result.bypass else "vanilla",
+            round(result.throughput_mpps, 3),
+            result.web_delivered,
+            result.other_delivered,
+            "%.0f%%" % (result.cache_hit_rate * 100),
+            result.monitor_flows,
+            result.active_bypasses,
+        ])
+    emit(
+        "Figure-1 service: firewall -> monitor -> {cache | direct}",
+        format_table(
+            ["variant", "Mpps", "web", "other", "cache hits",
+             "flows", "bypasses"],
+            rows,
+        ),
+    )
+    benchmark.extra_info["speedup"] = (
+        ours.throughput_mpps / vanilla.throughput_mpps
+    )
+
+    # The highway accelerated the three total links.
+    assert ours.active_bypasses == 3
+    assert vanilla.active_bypasses == 0
+    # Service semantics identical: hit ratio, split behaviour, flows.
+    assert abs(ours.cache_hit_rate - vanilla.cache_hit_rate) < 0.02
+    assert ours.monitor_flows == vanilla.monitor_flows
+    assert ours.web_delivered > 0 and ours.other_delivered > 0
+    # The classified split stayed on the vSwitch in both variants.
+    assert ours.classified_port_switched_packets > 0
+    # And the service got faster.
+    assert ours.throughput_mpps > 1.2 * vanilla.throughput_mpps

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""The paper's evaluation scenario: a chain of forwarding VMs.
+
+Reproduces a small version of Figure 3(a): chains of VMs connected by
+point-to-point links, bidirectional 64-byte traffic, first/last VM as
+source/sink, comparing vanilla OVS-DPDK against the transparent highway.
+
+Run:  python examples/service_chain.py  [max_chain_length]
+"""
+
+import sys
+
+from repro.experiments import ChainExperiment
+from repro.metrics import format_table
+
+
+def main():
+    max_len = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    rows = []
+    for num_vms in range(2, max_len + 1):
+        for bypass in (False, True):
+            result = ChainExperiment(
+                num_vms=num_vms,
+                bypass=bypass,
+                memory_only=True,
+                duration=0.002,
+            ).run()
+            rows.append(result.row())
+            print("ran: %d VMs, %s -> %.2f Mpps"
+                  % (num_vms, "bypass" if bypass else "vanilla",
+                     result.throughput_mpps))
+    print()
+    print(format_table(
+        ["VMs", "approach", "Mpps (bidir)", "mean latency us", "bypasses"],
+        rows,
+    ))
+    print("\nThe highway keeps throughput flat with chain length; the")
+    print("vanilla datapath decays as every hop shares the OVS PMD cores.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The runtime environment here has no ``wheel`` package, so PEP 517
+editable installs fail; ``python setup.py develop`` (or ``pip install -e .``
+on environments with wheel) installs the package.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

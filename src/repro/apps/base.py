@@ -1,0 +1,116 @@
+"""The DPDK application skeleton: a single-core burst-processing loop.
+
+An app owns one or more :class:`PortPair` pipelines (rx port -> process
+-> tx port) and exposes ``iteration()`` with the poll-loop contract:
+do one burst of work, return its simulated CPU cost.  The per-packet
+cost defaults to the cost model's ``vm_forward``; heavier VNFs pass a
+multiplier.
+"""
+
+from typing import List, Optional
+
+from repro.dpdk.ethdev import EthDev
+from repro.packet.mbuf import Mbuf
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.engine import Environment
+from repro.sim.pollloop import PollLoop
+
+
+class PortPair:
+    """One direction of packet movement inside an app."""
+
+    __slots__ = ("rx", "tx", "rx_count", "tx_count", "drop_count")
+
+    def __init__(self, rx: EthDev, tx: EthDev) -> None:
+        self.rx = rx
+        self.tx = tx
+        self.rx_count = 0
+        self.tx_count = 0
+        self.drop_count = 0
+
+    def __repr__(self) -> str:
+        return "<PortPair %s->%s rx=%d>" % (
+            self.rx.name, self.tx.name, self.rx_count
+        )
+
+
+class DpdkApp:
+    """Base class for single-core guest applications."""
+
+    def __init__(
+        self,
+        name: str,
+        pairs: List[PortPair],
+        costs: CostModel = DEFAULT_COST_MODEL,
+        burst_size: int = 32,
+        cost_multiplier: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.pairs = pairs
+        self.costs = costs
+        self.burst_size = burst_size
+        self.cost_multiplier = cost_multiplier
+        self.loop: Optional[PollLoop] = None
+
+    # -- processing hook ------------------------------------------------------
+
+    def process(self, mbufs: List[Mbuf], pair: PortPair) -> List[Mbuf]:
+        """Transform a received burst into the burst to transmit.
+
+        Packets not returned must be freed by the implementation.
+        Default: forward everything untouched.
+        """
+        return mbufs
+
+    # -- the poll-loop body -------------------------------------------------------
+
+    def iteration(self) -> float:
+        total_cost = 0.0
+        for pair in self.pairs:
+            mbufs = pair.rx.rx_burst(self.burst_size)
+            if not mbufs:
+                continue
+            pair.rx_count += len(mbufs)
+            out = self.process(mbufs, pair)
+            total_cost += (
+                self.costs.burst_overhead
+                + len(mbufs) * (self.costs.vm_forward * self.cost_multiplier
+                                + pair.tx.tx_extra_cost)
+            )
+            if out:
+                sent = pair.tx.tx_burst(out)
+                pair.tx_count += sent
+                for rejected in out[sent:]:
+                    pair.drop_count += 1
+                    rejected.free()
+        return total_cost
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self, env: Environment) -> PollLoop:
+        """Run the app on its own simulated core."""
+        if self.loop is not None:
+            raise RuntimeError("app %r already started" % self.name)
+        self.loop = PollLoop(env, self.name, self.iteration,
+                             costs=self.costs).start()
+        return self.loop
+
+    def stop(self) -> None:
+        if self.loop is not None:
+            self.loop.stop()
+            self.loop = None
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def rx_total(self) -> int:
+        return sum(pair.rx_count for pair in self.pairs)
+
+    @property
+    def tx_total(self) -> int:
+        return sum(pair.tx_count for pair in self.pairs)
+
+    def __repr__(self) -> str:
+        return "<%s %r rx=%d tx=%d>" % (
+            type(self).__name__, self.name, self.rx_total, self.tx_total
+        )

@@ -1,0 +1,89 @@
+"""A toy web-cache VNF (the third box in the paper's service graph).
+
+Models the data-plane footprint of a transparent cache: it inspects
+TCP/80 payloads for a request token, answers repeated requests from its
+cache (packet is consumed and a response is emitted back on the port it
+came from), and forwards everything else.
+"""
+
+from typing import Dict, List
+
+from repro.apps.base import DpdkApp, PortPair
+from repro.dpdk.ethdev import EthDev
+from repro.packet.flowkey import cached_flow_key
+from repro.packet.headers import IP_PROTO_TCP
+from repro.packet.mbuf import Mbuf
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+
+
+class WebCacheApp(DpdkApp):
+    """Transparent cache between an access port and an upstream port."""
+
+    def __init__(
+        self,
+        name: str,
+        access_port: EthDev,
+        upstream_port: EthDev,
+        capacity: int = 1024,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        burst_size: int = 32,
+    ) -> None:
+        super().__init__(
+            name,
+            [PortPair(access_port, upstream_port),
+             PortPair(upstream_port, access_port)],
+            costs=costs,
+            burst_size=burst_size,
+            cost_multiplier=2.0,  # payload inspection
+        )
+        self.access_port = access_port
+        self.capacity = capacity
+        self._store: Dict[bytes, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+        self.responses_served = 0
+
+    def preload(self, token: bytes, body: bytes = b"") -> None:
+        """Warm the cache (e.g. from a prior measurement period)."""
+        if len(self._store) < self.capacity:
+            self._store[bytes(token)] = bytes(body)
+
+    @staticmethod
+    def _request_token(mbuf: Mbuf) -> bytes:
+        """The cache key: the first payload line of a TCP/80 packet."""
+        packet = mbuf.packet
+        if packet is None or not packet.payload:
+            return b""
+        return bytes(packet.payload.split(b"\n", 1)[0].rstrip(b"\r"))
+
+    def process(self, mbufs: List[Mbuf], pair: PortPair) -> List[Mbuf]:
+        out: List[Mbuf] = []
+        toward_upstream = pair.rx is self.access_port
+        for mbuf in mbufs:
+            key = cached_flow_key(mbuf, in_port=0)
+            is_web = key.ip_proto == IP_PROTO_TCP and key.l4_dst == 80
+            if not toward_upstream or not is_web:
+                if not toward_upstream and key.ip_proto == IP_PROTO_TCP \
+                        and key.l4_src == 80:
+                    # A response coming back: populate the cache.
+                    token = self._request_token(mbuf)
+                    if token and len(self._store) < self.capacity:
+                        self._store[token] = bytes(mbuf.packet.payload)
+                out.append(mbuf)
+                continue
+            token = self._request_token(mbuf)
+            if token and token in self._store:
+                self.hits += 1
+                self.responses_served += 1
+                # Serve from cache: request is consumed, a response goes
+                # back out the access port.
+                mbuf.free()
+            else:
+                self.misses += 1
+                out.append(mbuf)
+        return out
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

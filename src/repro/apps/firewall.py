@@ -1,0 +1,67 @@
+"""A stateless 5-tuple firewall VNF (the service-graph example)."""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.base import DpdkApp, PortPair
+from repro.dpdk.ethdev import EthDev
+from repro.packet.flowkey import cached_flow_key
+from repro.packet.mbuf import Mbuf
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """A deny rule; None fields are wildcards."""
+
+    ip_src: Optional[int] = None
+    ip_dst: Optional[int] = None
+    ip_proto: Optional[int] = None
+    l4_src: Optional[int] = None
+    l4_dst: Optional[int] = None
+
+    def matches(self, key) -> bool:
+        for name in ("ip_src", "ip_dst", "ip_proto", "l4_src", "l4_dst"):
+            wanted = getattr(self, name)
+            if wanted is not None and getattr(key, name) != wanted:
+                return False
+        return True
+
+
+class FirewallApp(DpdkApp):
+    """Default-allow firewall: drops packets matching any deny rule."""
+
+    def __init__(
+        self,
+        name: str,
+        port_a: EthDev,
+        port_b: EthDev,
+        deny_rules: Optional[List[FirewallRule]] = None,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        burst_size: int = 32,
+    ) -> None:
+        super().__init__(
+            name,
+            [PortPair(port_a, port_b), PortPair(port_b, port_a)],
+            costs=costs,
+            burst_size=burst_size,
+            cost_multiplier=1.6,  # per-packet rule evaluation
+        )
+        self.deny_rules = list(deny_rules or [])
+        self.passed = 0
+        self.dropped = 0
+
+    def add_rule(self, rule: FirewallRule) -> None:
+        self.deny_rules.append(rule)
+
+    def process(self, mbufs: List[Mbuf], pair: PortPair) -> List[Mbuf]:
+        out: List[Mbuf] = []
+        for mbuf in mbufs:
+            key = cached_flow_key(mbuf, in_port=0)
+            if any(rule.matches(key) for rule in self.deny_rules):
+                self.dropped += 1
+                mbuf.free()
+            else:
+                self.passed += 1
+                out.append(mbuf)
+        return out

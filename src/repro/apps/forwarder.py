@@ -1,0 +1,31 @@
+"""The paper's chain VNF: a single-core bidirectional port forwarder."""
+
+from typing import List
+
+from repro.apps.base import DpdkApp, PortPair
+from repro.dpdk.ethdev import EthDev
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+
+
+class ForwarderApp(DpdkApp):
+    """Moves packets between two ports, in both directions.
+
+    This is exactly the VM used in the paper's evaluation chains: "each
+    VM has two dpdkr ports and runs a single core DPDK application that
+    moves packets from one port to another".  The same VM image works on
+    a normal or a bypassed port — transparency at the application level.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        port_a: EthDev,
+        port_b: EthDev,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        burst_size: int = 32,
+        bidirectional: bool = True,
+    ) -> None:
+        pairs = [PortPair(port_a, port_b)]
+        if bidirectional:
+            pairs.append(PortPair(port_b, port_a))
+        super().__init__(name, pairs, costs=costs, burst_size=burst_size)

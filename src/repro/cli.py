@@ -1,0 +1,177 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+    python -m repro fig3a --lengths 2:8 --duration 0.002
+    python -m repro fig3b
+    python -m repro latency --rate 1e6
+    python -m repro setup-time
+    python -m repro multihost --vms 2
+
+Each subcommand builds the experiment, runs it on the discrete-event
+engine and prints the paper-style table.  Durations are simulated
+seconds; larger values are more stable and proportionally slower to
+simulate.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    ChainExperiment,
+    MultiHostChainExperiment,
+    ServiceGraphExperiment,
+    SetupTimeExperiment,
+)
+from repro.metrics import format_table
+
+
+def _parse_range(text: str) -> List[int]:
+    """``"2:8"`` -> [2..8]; ``"2,4,8"`` -> [2, 4, 8]; ``"3"`` -> [3]."""
+    if ":" in text:
+        start, end = text.split(":", 1)
+        return list(range(int(start), int(end) + 1))
+    return [int(part) for part in text.split(",")]
+
+
+def cmd_fig3(args: argparse.Namespace, memory_only: bool) -> int:
+    rows = []
+    for num_vms in args.lengths:
+        line = [num_vms]
+        for bypass in (False, True):
+            result = ChainExperiment(
+                num_vms=num_vms,
+                bypass=bypass,
+                memory_only=memory_only,
+                duration=args.duration,
+                frame_size=args.frame_size,
+            ).run()
+            line.append(round(result.throughput_mpps, 3))
+        rows.append(line)
+        print("  %d VMs done" % num_vms, file=sys.stderr)
+    print(format_table(
+        ["# VMs", "traditional Mpps", "our approach Mpps"], rows
+    ))
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    rows = []
+    for num_vms in args.lengths:
+        vanilla = ChainExperiment(num_vms=num_vms, bypass=False,
+                                  duration=args.duration,
+                                  source_rate_pps=args.rate).run()
+        ours = ChainExperiment(num_vms=num_vms, bypass=True,
+                               duration=args.duration,
+                               source_rate_pps=args.rate).run()
+        improvement = 1 - ours.mean_latency / vanilla.mean_latency
+        rows.append([num_vms, round(vanilla.mean_latency * 1e6, 2),
+                     round(ours.mean_latency * 1e6, 2),
+                     "%.0f%%" % (improvement * 100)])
+    print(format_table(
+        ["# VMs", "traditional us", "ours us", "improvement"], rows
+    ))
+    return 0
+
+
+def cmd_setup_time(_args: argparse.Namespace) -> int:
+    result = SetupTimeExperiment().run()
+    rows = [[name, round(value * 1e3, 2)]
+            for name, value in result.stages()]
+    rows.append(["TOTAL", round(result.total * 1e3, 2)])
+    rows.append(["teardown", round(result.teardown_total * 1e3, 2)])
+    print(format_table(["stage", "ms"], rows))
+    return 0
+
+
+def cmd_multihost(args: argparse.Namespace) -> int:
+    rows = []
+    for bypass in (False, True):
+        result = MultiHostChainExperiment(
+            vms_per_host=args.vms, bypass=bypass,
+            duration=args.duration,
+        ).run()
+        rows.append(["bypass" if bypass else "vanilla",
+                     round(result.throughput_mpps, 3),
+                     result.bypasses_host1 + result.bypasses_host2,
+                     result.wire_packets])
+    print(format_table(
+        ["approach", "Mpps", "bypasses", "wire packets"], rows
+    ))
+    return 0
+
+
+def cmd_service(args: argparse.Namespace) -> int:
+    rows = []
+    for bypass in (False, True):
+        result = ServiceGraphExperiment(
+            bypass=bypass, duration=args.duration, rate_pps=args.rate
+        ).run()
+        rows.append([
+            "highway" if bypass else "vanilla",
+            round(result.throughput_mpps, 3),
+            "%.0f%%" % (result.cache_hit_rate * 100),
+            result.monitor_flows,
+            result.active_bypasses,
+        ])
+    print(format_table(
+        ["approach", "Mpps", "cache hits", "flows", "bypasses"], rows
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the SIGCOMM'16 transparent-highway "
+                    "experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, lengths_default):
+        p.add_argument("--lengths", type=_parse_range,
+                       default=lengths_default,
+                       help="chain lengths, e.g. 2:8 or 2,4,8")
+        p.add_argument("--duration", type=float, default=0.002,
+                       help="simulated seconds per run")
+        p.add_argument("--frame-size", type=int, default=64)
+
+    p3a = sub.add_parser("fig3a", help="Figure 3(a): memory-only chains")
+    common(p3a, _parse_range("2:8"))
+    p3b = sub.add_parser("fig3b", help="Figure 3(b): chains through NICs")
+    common(p3b, _parse_range("1:8"))
+    plat = sub.add_parser("latency", help="latency vs chain length")
+    common(plat, _parse_range("2,4,6,8"))
+    plat.add_argument("--rate", type=float, default=1e6,
+                      help="offered load per direction (pps)")
+    sub.add_parser("setup-time", help="bypass establishment breakdown")
+    psvc = sub.add_parser("service",
+                          help="the Figure-1 firewall/monitor/cache "
+                               "service, highway on vs off")
+    psvc.add_argument("--duration", type=float, default=0.004)
+    psvc.add_argument("--rate", type=float, default=8e6)
+    pmh = sub.add_parser("multihost", help="chain across two hosts")
+    pmh.add_argument("--vms", type=int, default=2,
+                     help="VMs per host")
+    pmh.add_argument("--duration", type=float, default=0.003)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "fig3a":
+        return cmd_fig3(args, memory_only=True)
+    if args.command == "fig3b":
+        return cmd_fig3(args, memory_only=False)
+    if args.command == "latency":
+        return cmd_latency(args)
+    if args.command == "setup-time":
+        return cmd_setup_time(args)
+    if args.command == "service":
+        return cmd_service(args)
+    if args.command == "multihost":
+        return cmd_multihost(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's contribution: transparent p-2-p bypass for OVS-DPDK.
+
+Four localized additions, mirroring the prototype's patches:
+
+* :mod:`repro.core.detector` — the p-2-p link detector inside vswitchd:
+  analyses flow-table changes and decides, per dpdkr port, whether the
+  rules currently forward *all* of its traffic to exactly one other
+  dpdkr port.
+* :mod:`repro.core.pmd` — the modified dpdkr PMD: one port, two
+  channels (normal + bypass), plus the in-guest manager that executes
+  virtio-serial reconfiguration commands.
+* :mod:`repro.core.stats` — the shared-memory counters the sending PMD
+  maintains for OpenFlow rule/port statistics while the vSwitch is out
+  of the path.
+* :mod:`repro.core.bypass` — the bypass manager: drives channel
+  lifecycle (create zone -> plug receiver -> plug sender -> active;
+  reverse for teardown) through the compute agent.
+* :mod:`repro.core.transparency` — the stats augmentor that merges
+  shared-memory counters into ordinary OpenFlow replies, plus the
+  one-call :func:`enable_transparent_highway` wiring helper.
+"""
+
+from repro.core.bypass import BypassLink, BypassManager, LinkState
+from repro.core.detector import P2PLink, P2PLinkDetector
+from repro.core.pmd import DualChannelPmd, GuestPmdManager
+from repro.core.stats import BypassStatsBlock
+from repro.core.transparency import (
+    BypassStatsAugmentor,
+    enable_transparent_highway,
+)
+
+__all__ = [
+    "BypassLink",
+    "BypassManager",
+    "BypassStatsAugmentor",
+    "DualChannelPmd",
+    "GuestPmdManager",
+    "LinkState",
+    "P2PLink",
+    "P2PLinkDetector",
+    "BypassStatsBlock",
+    "enable_transparent_highway",
+]

@@ -1,0 +1,417 @@
+"""The bypass manager: from p-2-p detection to a live direct channel.
+
+Listens to the :class:`~repro.core.detector.P2PLinkDetector` and drives
+channel lifecycle through the compute agent:
+
+* **establish** — reserve a fresh memzone holding the bypass ring and
+  its :class:`~repro.core.stats.BypassStatsBlock`, then ask the agent to
+  plug it into both VMs and reconfigure the PMDs (receiver before
+  sender);
+* **teardown** — ask the agent to detach the sender, drain, detach the
+  receiver, unplug; afterwards release the zone.  The stats block is
+  retained forever so flow/port statistics stay correct.
+
+All operations run through a single FIFO worker (one compute agent, one
+request at a time), which also serializes the detect-while-establishing
+races: a link revoked mid-establishment is simply torn down right after
+it becomes active.
+"""
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.detector import P2PLink, P2PLinkDetector
+from repro.core.stats import BypassStatsBlock
+from repro.hypervisor.compute_agent import AgentRequest, ComputeAgent
+from repro.mem.memzone import Memzone, MemzoneRegistry
+from repro.mem.ring import Ring, RingMode
+from repro.sim.engine import Environment
+from repro.vswitch.ports import DpdkrOvsPort
+from repro.vswitch.vswitchd import VSwitchd
+
+
+class LinkState(enum.Enum):
+    PENDING = "pending"
+    ESTABLISHING = "establishing"
+    ACTIVE = "active"
+    TEARING_DOWN = "tearing_down"
+    REMOVED = "removed"
+
+
+@dataclass
+class BypassLink:
+    """Runtime state of one directed bypass channel."""
+
+    link: P2PLink
+    zone_name: str
+    src_port_name: str
+    dst_port_name: str
+    ring: Ring
+    stats: BypassStatsBlock
+    state: LinkState = LinkState.PENDING
+    revoked: bool = False          # detector withdrew it before/while active
+    t_detected: float = 0.0
+    t_active: float = 0.0
+    t_teardown_started: float = 0.0
+    t_removed: float = 0.0
+    setup_request: Optional[AgentRequest] = None
+    teardown_request: Optional[AgentRequest] = None
+
+    @property
+    def setup_time(self) -> float:
+        """Seconds from p-2-p recognition to the sender using the bypass."""
+        return self.t_active - self.t_detected
+
+
+class BypassManager:
+    """Creates and destroys bypass channels in response to detector events."""
+
+    def __init__(
+        self,
+        vswitchd: VSwitchd,
+        agent: ComputeAgent,
+        detector: P2PLinkDetector,
+        env: Optional[Environment] = None,
+        ring_size: int = 1024,
+    ) -> None:
+        self.vswitchd = vswitchd
+        self.registry: MemzoneRegistry = vswitchd.registry
+        self.agent = agent
+        self.detector = detector
+        self.env = env
+        self.ring_size = ring_size
+        self._zone_serial = itertools.count(1)
+        self._active: Dict[int, BypassLink] = {}   # src ofport -> link
+        self.history: List[BypassLink] = []
+        self.stats_blocks: List[BypassStatsBlock] = []
+        self.on_link_active: List[Callable[[BypassLink], None]] = []
+        self.on_link_removed: List[Callable[[BypassLink], None]] = []
+        # FIFO worker queue (simulation mode).
+        self._ops: List = []
+        self._ops_available = None
+        self._worker = None
+        detector.on_created.append(self._on_p2p_created)
+        detector.on_removed.append(self._on_p2p_removed)
+        agent.hypervisor.on_destroy.append(self._on_vm_failure)
+        self.failed_links: List[BypassLink] = []
+        self.packets_lost_to_failures = 0
+        if env is not None:
+            self._ops_available = env.event()
+            self._worker = env.process(self._worker_process(),
+                                       name="bypass.worker")
+
+    # -- state access ---------------------------------------------------------
+
+    @property
+    def active_links(self) -> Dict[int, BypassLink]:
+        return dict(self._active)
+
+    def link_for_src(self, src_ofport: int) -> Optional[BypassLink]:
+        return self._active.get(src_ofport)
+
+    def port_has_bypass(self, ofport: int) -> bool:
+        return any(
+            bl.state == LinkState.ACTIVE
+            and ofport in (bl.link.src_ofport, bl.link.dst_ofport)
+            for bl in self._active.values()
+        )
+
+    # -- detector events -----------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.env.now if self.env is not None else 0.0
+
+    def _on_p2p_created(self, link: P2PLink) -> None:
+        src_port = self.vswitchd.datapath.ports.get(link.src_ofport)
+        dst_port = self.vswitchd.datapath.ports.get(link.dst_ofport)
+        if not isinstance(src_port, DpdkrOvsPort) or not isinstance(
+            dst_port, DpdkrOvsPort
+        ):
+            return  # only dpdkr-to-dpdkr connections are accelerated
+        if not (self.agent.is_port_alive(src_port.name)
+                and self.agent.is_port_alive(dst_port.name)):
+            return  # endpoint VM unknown or dead: leave it on the switch
+        zone_name = "bypass.%d.%s-%s" % (
+            next(self._zone_serial), src_port.name, dst_port.name
+        )
+        zone = self.registry.reserve(zone_name, owner="ovs")
+        ring = zone.put("ring", Ring(
+            "%s.ring" % zone_name, self.ring_size, RingMode.SP_SC,
+            watermark=(self.ring_size * 3) // 4,
+        ))
+        stats = zone.put("stats", BypassStatsBlock(
+            zone_name, link.src_ofport, link.dst_ofport
+        ))
+        self.stats_blocks.append(stats)
+        bypass_link = BypassLink(
+            link=link,
+            zone_name=zone_name,
+            src_port_name=src_port.name,
+            dst_port_name=dst_port.name,
+            ring=ring,
+            stats=stats,
+            t_detected=self._now(),
+        )
+        self._active[link.src_ofport] = bypass_link
+        self.history.append(bypass_link)
+        self._enqueue_op(("establish", bypass_link))
+
+    def _on_p2p_removed(self, link: P2PLink) -> None:
+        bypass_link = self._active.get(link.src_ofport)
+        if bypass_link is None or bypass_link.link != link:
+            return
+        bypass_link.revoked = True
+        bypass_link.t_teardown_started = self._now()
+        if bypass_link.state == LinkState.ACTIVE:
+            self._enqueue_op(("teardown", bypass_link))
+        # If still PENDING/ESTABLISHING, the worker notices `revoked`
+        # right after establishment and queues the teardown itself.
+
+    # -- operation execution ----------------------------------------------------------
+
+    def _enqueue_op(self, op) -> None:
+        if self.env is None:
+            self._run_op_sync(op)
+            return
+        self._ops.append(op)
+        if not self._ops_available.triggered:
+            self._ops_available.succeed()
+
+    def _worker_process(self):
+        env = self.env
+        while True:
+            if not self._ops:
+                self._ops_available = env.event()
+                yield self._ops_available
+                continue
+            kind, bypass_link = self._ops.pop(0)
+            if kind == "establish":
+                yield from self._establish_sim(bypass_link)
+            else:
+                yield from self._teardown_sim(bypass_link)
+
+    # establish -----------------------------------------------------------------------
+
+    def _establish_sim(self, bypass_link: BypassLink):
+        bypass_link.state = LinkState.ESTABLISHING
+        request = self.agent.setup_bypass(
+            bypass_link.src_port_name,
+            bypass_link.dst_port_name,
+            bypass_link.zone_name,
+            flow_id=bypass_link.link.flow_id,
+        )
+        bypass_link.setup_request = request
+        yield request.done_event
+        if request.error is not None:
+            # A VM died while we were establishing: abort and clean up.
+            self._abort_establishment(bypass_link)
+            return
+        self._mark_active(bypass_link)
+        if bypass_link.revoked:
+            # Withdrawn while we were establishing: undo immediately.
+            yield from self._teardown_sim(bypass_link)
+
+    def _run_op_sync(self, op) -> None:
+        kind, bypass_link = op
+        if kind == "establish":
+            bypass_link.state = LinkState.ESTABLISHING
+            bypass_link.setup_request = self.agent.setup_bypass(
+                bypass_link.src_port_name,
+                bypass_link.dst_port_name,
+                bypass_link.zone_name,
+                flow_id=bypass_link.link.flow_id,
+            )
+            self._mark_active(bypass_link)
+            if bypass_link.revoked:
+                self._run_op_sync(("teardown", bypass_link))
+        else:
+            self._do_teardown_sync(bypass_link)
+
+    def _mark_active(self, bypass_link: BypassLink) -> None:
+        bypass_link.state = LinkState.ACTIVE
+        bypass_link.t_active = self._now()
+        self._update_port_flags()
+        for callback in self.on_link_active:
+            callback(bypass_link)
+
+    # teardown ------------------------------------------------------------------------
+
+    def _teardown_sim(self, bypass_link: BypassLink):
+        if bypass_link.state != LinkState.ACTIVE:
+            return
+        bypass_link.state = LinkState.TEARING_DOWN
+        request = self.agent.teardown_bypass(
+            bypass_link.src_port_name,
+            bypass_link.dst_port_name,
+            bypass_link.zone_name,
+            ring=bypass_link.ring,
+        )
+        bypass_link.teardown_request = request
+        yield request.done_event
+        self._finish_teardown(bypass_link)
+
+    def _do_teardown_sync(self, bypass_link: BypassLink) -> None:
+        if bypass_link.state != LinkState.ACTIVE:
+            return
+        bypass_link.state = LinkState.TEARING_DOWN
+        bypass_link.teardown_request = self.agent.teardown_bypass(
+            bypass_link.src_port_name,
+            bypass_link.dst_port_name,
+            bypass_link.zone_name,
+            ring=bypass_link.ring,
+        )
+        self._finish_teardown(bypass_link)
+
+    def _abort_establishment(self, bypass_link: BypassLink) -> None:
+        """Clean up a link whose establishment failed (endpoint died).
+
+        The surviving VM may have had the zone plugged and its RX side
+        configured before the failure; undo whatever exists.
+        """
+        from repro.dpdk.virtio_serial import ControlMessage
+
+        request = bypass_link.setup_request
+        zone = self.registry.lookup(bypass_link.zone_name)
+        if request is not None and request.t_rx_configured:
+            if self.agent.is_port_alive(bypass_link.dst_port_name):
+                self._direct_pmd_command(
+                    bypass_link.dst_port_name, ControlMessage(
+                        "detach_bypass",
+                        {"request_id": -1,
+                         "port_name": bypass_link.dst_port_name,
+                         "zone_name": bypass_link.zone_name,
+                         "role": "rx"},
+                    )
+                )
+        for port_name in (bypass_link.src_port_name,
+                          bypass_link.dst_port_name):
+            owner = self.agent.owner_of(port_name)
+            if owner in zone.mapped_by and owner in \
+                    self.agent.hypervisor.vms:
+                self.agent.hypervisor.force_unplug(
+                    owner, bypass_link.zone_name
+                )
+        self.failed_links.append(bypass_link)
+        self._finish_teardown(bypass_link)
+
+    def _finish_teardown(self, bypass_link: BypassLink) -> None:
+        bypass_link.state = LinkState.REMOVED
+        bypass_link.t_removed = self._now()
+        current = self._active.get(bypass_link.link.src_ofport)
+        if current is bypass_link:
+            del self._active[bypass_link.link.src_ofport]
+        zone = self.registry.lookup(bypass_link.zone_name)
+        if not zone.mapped_by:
+            self.registry.free(bypass_link.zone_name)
+        # else: a mapping survived an abnormal path; the zone stays
+        # allocated rather than yanking memory from under a guest.
+        self._update_port_flags()
+        for callback in self.on_link_removed:
+            callback(bypass_link)
+
+    # VM failure handling ----------------------------------------------------------------
+
+    def _on_vm_failure(self, vm_name: str) -> None:
+        """A VM died: immediately dismantle every bypass touching it.
+
+        Unlike the orderly teardown, this runs synchronously even in
+        simulation mode — it is the host-side janitor reacting to a
+        crash, and the surviving PMD is reconfigured by delivering the
+        control message directly (the dead peer cannot participate in
+        any protocol).  Packets sitting in a ring whose receiver died
+        are unrecoverable and are counted in
+        :attr:`packets_lost_to_failures`.
+        """
+        dead_ports = set(self.agent.ports_of(vm_name))
+        for bypass_link in list(self._active.values()):
+            if (bypass_link.src_port_name not in dead_ports
+                    and bypass_link.dst_port_name not in dead_ports):
+                continue
+            if bypass_link.state == LinkState.ACTIVE:
+                self._emergency_teardown(bypass_link, dead_ports)
+            else:
+                # Mid-establishment: the agent's in-flight request fails
+                # (dead-VM guards / failed reply events) and the worker
+                # aborts the link when it resumes.
+                bypass_link.revoked = True
+
+    def _emergency_teardown(self, bypass_link: BypassLink,
+                            dead_ports) -> None:
+        from repro.dpdk.virtio_serial import ControlMessage
+
+        hypervisor = self.agent.hypervisor
+        ring = bypass_link.ring
+        src_dead = bypass_link.src_port_name in dead_ports
+        dst_dead = bypass_link.dst_port_name in dead_ports
+        bypass_link.state = LinkState.TEARING_DOWN
+        bypass_link.revoked = True
+        bypass_link.t_teardown_started = self._now()
+
+        was_established = (bypass_link.setup_request is not None
+                           and bypass_link.setup_request.completed)
+        if not src_dead and was_established:
+            self._direct_pmd_command(
+                bypass_link.src_port_name, ControlMessage(
+                    "detach_bypass",
+                    {"request_id": -1,
+                     "port_name": bypass_link.src_port_name,
+                     "zone_name": bypass_link.zone_name, "role": "tx"},
+                )
+            )
+        if dst_dead:
+            # The receiver is gone: whatever sits in the ring is lost.
+            for mbuf in ring.drain():
+                self.packets_lost_to_failures += 1
+                mbuf.free()
+        elif was_established:
+            # The sender is gone: no ordering hazard, salvage leftovers
+            # onto the survivor's normal channel, then detach it.
+            leftovers = ring.drain()
+            if leftovers:
+                from repro.dpdk.dpdkr import dpdkr_zone_name
+
+                zone = self.registry.lookup(
+                    dpdkr_zone_name(bypass_link.dst_port_name)
+                )
+                accepted = zone.get("rx").enqueue_burst(leftovers)
+                for mbuf in leftovers[accepted:]:
+                    self.packets_lost_to_failures += 1
+                    mbuf.free()
+            self._direct_pmd_command(
+                bypass_link.dst_port_name, ControlMessage(
+                    "detach_bypass",
+                    {"request_id": -1,
+                     "port_name": bypass_link.dst_port_name,
+                     "zone_name": bypass_link.zone_name, "role": "rx"},
+                )
+            )
+        # Release the survivor's mapping; the dead VM's mapping was
+        # already dropped by destroy_vm.
+        zone = self.registry.lookup(bypass_link.zone_name)
+        for port_name in (bypass_link.src_port_name,
+                          bypass_link.dst_port_name):
+            owner = self.agent.owner_of(port_name)
+            if owner in zone.mapped_by:
+                hypervisor.force_unplug(owner, bypass_link.zone_name)
+        self.failed_links.append(bypass_link)
+        self._finish_teardown(bypass_link)
+
+    def _direct_pmd_command(self, port_name: str, message) -> None:
+        """Deliver a control message to a (living) guest immediately."""
+        vm = self.agent.hypervisor.vms[self.agent.owner_of(port_name)]
+        vm.serial.guest_handler(message)
+
+    # port flags ------------------------------------------------------------------------
+
+    def _update_port_flags(self) -> None:
+        """Keep DpdkrOvsPort.bypass_active in sync (observability only)."""
+        involved = set()
+        for bypass_link in self._active.values():
+            if bypass_link.state == LinkState.ACTIVE:
+                involved.add(bypass_link.link.src_ofport)
+                involved.add(bypass_link.link.dst_ofport)
+        for ofport, port in self.vswitchd.datapath.ports.items():
+            if isinstance(port, DpdkrOvsPort):
+                port.bypass_active = ofport in involved

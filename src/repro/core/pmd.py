@@ -1,0 +1,339 @@
+"""The modified dpdkr PMD: one port, two channels.
+
+:class:`DualChannelPmd` exposes the standard ethdev interface while
+internally driving the *normal* channel (shared rings with the vSwitch)
+and, when configured, a *bypass* channel (a ring shared directly with the
+peer VM).  The application cannot tell which is in use — the paper's
+transparency-at-the-VNF property.
+
+Rules the prototype implements, kept here exactly:
+
+* TX rides the bypass when attached; every bypass TX bumps the
+  OpenFlow rule/port counters in the shared stats block.
+* RX always merges bypass *and* normal channels, because the controller
+  can still inject packet-outs through the vSwitch onto the normal
+  channel mid-bypass.
+* Attach/detach arrive over virtio-serial and are executed by the
+  per-VM :class:`GuestPmdManager`, which can only reach memzones that
+  have actually been hot-plugged into its VM.
+
+One refinement over the paper's sketch: channel handovers are *ordered*
+(:class:`TxState`).  The paper only promises transparency; a naive flip
+lets a packet on the new channel overtake in-flight packets on the old
+one.  Here establishment gates the sender on its normal TX ring
+draining (receivers poll the normal channel first), and teardown stalls
+the sender while the host re-homes bypass leftovers — so a flow crosses
+both transitions with no loss *and* no reordering, which the
+integration suite asserts end-to-end.
+"""
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.dpdk.dpdkr import DpdkrPmd, DpdkrSharedRings, dpdkr_zone_name
+from repro.dpdk.virtio_serial import ControlMessage
+from repro.core.stats import BypassStatsBlock
+from repro.hypervisor.qemu import VirtualMachine
+from repro.mem.ring import Ring
+from repro.packet.mbuf import Mbuf
+
+
+class TxState(enum.Enum):
+    """The TX side's channel-handover state machine.
+
+    ``NORMAL -> PENDING_BYPASS -> BYPASS`` on establishment: after the
+    attach command the PMD keeps transmitting on the normal channel
+    until its TX ring toward the vSwitch has drained, then flips — so a
+    packet can never overtake an earlier one still inside the vSwitch
+    (ordered handover; the receiver polls the normal channel first).
+
+    ``BYPASS -> STALLED -> NORMAL`` on teardown: the detach command
+    stalls TX entirely (bursts are refused, standard ring-full
+    backpressure) while the host salvages the bypass ring's leftovers
+    onto the normal channel in order; the resume command then releases
+    the sender onto the vSwitch path.
+    """
+
+    NORMAL = "normal"
+    PENDING_BYPASS = "pending_bypass"
+    BYPASS = "bypass"
+    STALLED = "stalled"
+
+
+class DualChannelPmd(DpdkrPmd):
+    """dpdkr PMD handling a normal channel plus an optional bypass."""
+
+    def __init__(self, port_id: int, rings: DpdkrSharedRings) -> None:
+        super().__init__(port_id, rings)
+        self.tx_state = TxState.NORMAL
+        self.bypass_tx_ring: Optional[Ring] = None
+        # A port can be the *destination* of several p-2-p links (two
+        # different source ports each steering all their traffic here),
+        # so the RX side is a list of rings, polled round-robin.
+        self.bypass_rx_rings: List[Ring] = []
+        self._rx_rotation = 0
+        self.bypass_stats: Optional[BypassStatsBlock] = None
+        self.bypass_flow_id: Optional[int] = None
+        # The paper's stats trick costs a little CPU on every bypass TX;
+        # accounting_enabled=False is the ablation that measures it (and
+        # demonstrates the transparency that is lost without it).
+        self.accounting_enabled = True
+        self.stats_update_cost = 4e-9
+        # ordered_handover=False reverts to the paper's naive flip
+        # (immediate switch, bypass polled first) — the A-handover
+        # ablation measures the reordering that this reintroduces.
+        self.ordered_handover = True
+        # Observability counters.
+        self.tx_via_bypass = 0
+        self.tx_via_normal = 0
+        self.rx_via_bypass = 0
+        self.rx_via_normal = 0
+        self.tx_stall_rejects = 0
+        # Bursts that left the bypass ring above its watermark: the
+        # receiver is falling behind (congestion signal in bypass/show).
+        self.bypass_congestion_events = 0
+
+    # -- channel configuration (driven over virtio-serial) -------------------
+
+    def attach_bypass_tx(self, ring: Ring, stats: BypassStatsBlock,
+                         flow_id: int) -> None:
+        """Arm the bypass TX; it takes over once the normal ring drains.
+
+        Accounting is attributed to OpenFlow rule ``flow_id``.
+        """
+        if self.bypass_tx_ring is not None:
+            raise RuntimeError(
+                "port %r already has a bypass TX channel" % self.name
+            )
+        self.bypass_tx_ring = ring
+        self.bypass_stats = stats
+        self.bypass_flow_id = flow_id
+        self.tx_state = (TxState.PENDING_BYPASS if self.ordered_handover
+                         else TxState.BYPASS)
+
+    def detach_bypass_tx(self, stall: bool = False) -> None:
+        """Leave the bypass.
+
+        With ``stall=True`` (the orderly teardown protocol) TX is held
+        in STALLED until :meth:`resume_tx`, giving the host a window to
+        re-home the bypass ring's contents without reordering; with
+        ``stall=False`` (failure handling, unit tests) TX reverts to the
+        normal channel immediately.
+        """
+        if self.bypass_tx_ring is None:
+            raise RuntimeError("port %r has no bypass TX channel" % self.name)
+        self.bypass_tx_ring = None
+        self.bypass_stats = None
+        self.bypass_flow_id = None
+        self.tx_state = (TxState.STALLED
+                         if stall and self.ordered_handover
+                         else TxState.NORMAL)
+
+    def resume_tx(self) -> None:
+        """Release a STALLED sender onto the normal channel.
+
+        A no-op on an already-NORMAL port (a naive-handover PMD skips
+        the stall, but the agent's teardown protocol still sends the
+        resume command).
+        """
+        if self.tx_state == TxState.NORMAL:
+            return
+        if self.tx_state != TxState.STALLED:
+            raise RuntimeError(
+                "port %r TX is %s, not stalled"
+                % (self.name, self.tx_state.value)
+            )
+        self.tx_state = TxState.NORMAL
+
+    def attach_bypass_rx(self, ring: Ring) -> None:
+        """Start polling ``ring`` in addition to the normal channel."""
+        if ring in self.bypass_rx_rings:
+            raise RuntimeError(
+                "port %r already polls this bypass ring" % self.name
+            )
+        self.bypass_rx_rings.append(ring)
+
+    def detach_bypass_rx(self, ring: Optional[Ring] = None) -> None:
+        """Stop polling ``ring`` (or the only attached ring)."""
+        if not self.bypass_rx_rings:
+            raise RuntimeError("port %r has no bypass RX channel" % self.name)
+        if ring is None:
+            if len(self.bypass_rx_rings) > 1:
+                raise RuntimeError(
+                    "port %r polls %d bypass rings; specify which"
+                    % (self.name, len(self.bypass_rx_rings))
+                )
+            ring = self.bypass_rx_rings[0]
+        if ring not in self.bypass_rx_rings:
+            raise RuntimeError(
+                "port %r does not poll that bypass ring" % self.name
+            )
+        self.bypass_rx_rings.remove(ring)
+
+    @property
+    def bypass_tx_active(self) -> bool:
+        return self.tx_state in (TxState.PENDING_BYPASS, TxState.BYPASS)
+
+    @property
+    def tx_extra_cost(self) -> float:
+        if self.tx_state == TxState.BYPASS and self.accounting_enabled:
+            return self.stats_update_cost
+        return 0.0
+
+    @property
+    def bypass_rx_active(self) -> bool:
+        return bool(self.bypass_rx_rings)
+
+    # -- data path ------------------------------------------------------------
+
+    def rx_burst(self, max_count: int) -> List[Mbuf]:
+        """Merge the normal channel and the bypass rings.
+
+        The normal channel is polled *first*: during an establishment
+        handover the packets still flowing through the vSwitch are older
+        than anything in a bypass ring, so this order (together with the
+        sender-side drain gate) keeps delivery in order — and it gives
+        controller packet-outs prompt service as a side effect.
+        """
+        mbufs: List[Mbuf] = []
+        if self.ordered_handover:
+            mbufs = self.rings.to_guest.dequeue_burst(max_count)
+            self.rx_via_normal += len(mbufs)
+        ring_count = len(self.bypass_rx_rings)
+        if ring_count and len(mbufs) < max_count:
+            # Rotate the starting ring so no bypass peer can starve
+            # another under sustained load.
+            self._rx_rotation = (self._rx_rotation + 1) % ring_count
+            for offset in range(ring_count):
+                if len(mbufs) >= max_count:
+                    break
+                ring = self.bypass_rx_rings[
+                    (self._rx_rotation + offset) % ring_count
+                ]
+                got = ring.dequeue_burst(max_count - len(mbufs))
+                self.rx_via_bypass += len(got)
+                mbufs.extend(got)
+        if not self.ordered_handover and len(mbufs) < max_count:
+            normal = self.rings.to_guest.dequeue_burst(
+                max_count - len(mbufs)
+            )
+            self.rx_via_normal += len(normal)
+            mbufs.extend(normal)
+        if mbufs:
+            self.stats.ipackets += len(mbufs)
+            self.stats.ibytes += sum(m.wire_length for m in mbufs)
+        return mbufs
+
+    def tx_burst(self, mbufs: List[Mbuf]) -> int:
+        state = self.tx_state
+        if state == TxState.PENDING_BYPASS:
+            # Flip only when nothing of ours is still queued toward the
+            # vSwitch; until then the normal channel stays in use.
+            if self.rings.to_switch.is_empty:
+                self.tx_state = state = TxState.BYPASS
+            else:
+                state = TxState.NORMAL
+        if state == TxState.NORMAL:
+            sent = super().tx_burst(mbufs)
+            self.tx_via_normal += sent
+            return sent
+        if state == TxState.STALLED:
+            # Mid-teardown: refuse the burst (ring-full semantics); the
+            # application retries or drops exactly as on congestion.
+            self.tx_stall_rejects += len(mbufs)
+            self.stats.oerrors += len(mbufs)
+            return 0
+        sent = self.bypass_tx_ring.enqueue_burst(mbufs)
+        if sent and self.bypass_tx_ring.above_watermark:
+            self.bypass_congestion_events += 1
+        if sent:
+            byte_count = sum(
+                mbufs[index].wire_length for index in range(sent)
+            )
+            self.stats.opackets += sent
+            self.stats.obytes += byte_count
+            self.tx_via_bypass += sent
+            if self.accounting_enabled:
+                # The paper's stats trick: the PMD, not the switch, keeps
+                # the OpenFlow counters for bypassed traffic.
+                self.bypass_stats.account(self.bypass_flow_id, sent,
+                                          byte_count)
+        if sent < len(mbufs):
+            self.stats.oerrors += len(mbufs) - sent
+        return sent
+
+
+class GuestPmdManager:
+    """Per-VM runtime that owns the dual-channel PMDs.
+
+    Registered as the VM's virtio-serial guest handler; executes the
+    compute agent's attach/detach commands.  Zone lookups go through the
+    guest EAL, so a command referring to a zone that was never
+    hot-plugged fails — the visibility property the architecture rests on.
+    """
+
+    def __init__(self, vm: VirtualMachine) -> None:
+        self.vm = vm
+        self.pmds: Dict[str, DualChannelPmd] = {}
+        vm.serial.guest_handler = self.handle_command
+
+    def create_pmd(self, port_name: str) -> DualChannelPmd:
+        """Attach to a dpdkr port's normal channel and register the PMD."""
+        if port_name in self.pmds:
+            raise RuntimeError("PMD for %r already exists" % port_name)
+        zone = self.vm.eal.lookup_memzone(dpdkr_zone_name(port_name))
+        rings = DpdkrSharedRings.attach(zone)
+        pmd = DualChannelPmd(port_id=-1, rings=rings)
+        self.vm.eal.register_port(pmd)
+        self.pmds[port_name] = pmd
+        return pmd
+
+    def pmd(self, port_name: str) -> DualChannelPmd:
+        try:
+            return self.pmds[port_name]
+        except KeyError:
+            raise RuntimeError(
+                "VM %r has no PMD for port %r" % (self.vm.name, port_name)
+            ) from None
+
+    # -- virtio-serial command execution -------------------------------------
+
+    def handle_command(self, message: ControlMessage
+                       ) -> Optional[ControlMessage]:
+        args = message.args
+        if message.command == "attach_bypass":
+            self._attach(args)
+            return ControlMessage("attach_bypass_ok",
+                                  {"request_id": args["request_id"]})
+        if message.command == "detach_bypass":
+            self._detach(args)
+            return ControlMessage("detach_bypass_ok",
+                                  {"request_id": args["request_id"]})
+        if message.command == "resume_tx":
+            self.pmd(args["port_name"]).resume_tx()
+            return ControlMessage("resume_tx_ok",
+                                  {"request_id": args["request_id"]})
+        return ControlMessage("error", {
+            "request_id": args.get("request_id"),
+            "reason": "unknown command %r" % message.command,
+        })
+
+    def _attach(self, args: Dict) -> None:
+        pmd = self.pmd(args["port_name"])
+        zone = self.vm.eal.lookup_memzone(args["zone_name"])
+        ring = zone.get("ring")
+        if args["role"] == "tx":
+            pmd.attach_bypass_tx(ring, zone.get("stats"), args["flow_id"])
+        else:
+            pmd.attach_bypass_rx(ring)
+
+    def _detach(self, args: Dict) -> None:
+        pmd = self.pmd(args["port_name"])
+        if args["role"] == "tx":
+            pmd.detach_bypass_tx(stall=args.get("stall", False))
+        else:
+            # The zone is still plugged at this point (teardown detaches
+            # the PMD before unplugging the device), so the ring can be
+            # resolved to identify which bypass to stop polling.
+            zone = self.vm.eal.lookup_memzone(args["zone_name"])
+            pmd.detach_bypass_rx(zone.get("ring"))

@@ -1,0 +1,25 @@
+"""DPDK substrate: EAL, ethdev API, dpdkr shared-ring ports, virtio-serial.
+
+The guest applications and the vSwitch are written against these
+abstractions exactly as the paper's VNFs are written against DPDK:
+``rx_burst``/``tx_burst`` over ``dpdkr`` ports whose rings live in shared
+memzones, with a virtio-serial control channel host <-> guest for the PMD
+reconfiguration the bypass switchover needs.
+"""
+
+from repro.dpdk.eal import Eal, EalError
+from repro.dpdk.ethdev import DevStats, EthDev
+from repro.dpdk.dpdkr import DpdkrPmd, DpdkrSharedRings, dpdkr_zone_name
+from repro.dpdk.virtio_serial import ControlMessage, VirtioSerial
+
+__all__ = [
+    "ControlMessage",
+    "DevStats",
+    "DpdkrPmd",
+    "DpdkrSharedRings",
+    "Eal",
+    "EalError",
+    "EthDev",
+    "VirtioSerial",
+    "dpdkr_zone_name",
+]

@@ -1,0 +1,92 @@
+"""dpdkr ports: shared-ring devices between a VM and the vSwitch.
+
+A ``dpdkr`` port is a pair of rings in a dedicated memzone:
+
+* ``to_switch`` — guest TX, polled by the OVS forwarding engine;
+* ``to_guest`` — OVS output, polled by the guest PMD.
+
+The memzone is exposed to the VM as an ivshmem device at VM creation
+time (the *normal channel*).  :class:`DpdkrPmd` is the vanilla
+single-channel guest PMD; the paper's dual-channel PMD in
+:mod:`repro.core.pmd` wraps the same rings plus an optional bypass.
+"""
+
+from typing import List
+
+from repro.dpdk.ethdev import EthDev
+from repro.mem.memzone import Memzone, MemzoneRegistry
+from repro.mem.ring import Ring, RingMode
+from repro.packet.mbuf import Mbuf
+
+
+def dpdkr_zone_name(port_name: str) -> str:
+    """Memzone name for a dpdkr port (matches DPDK's rte_eth_ring names)."""
+    return "rte_eth_ring.%s" % port_name
+
+
+class DpdkrSharedRings:
+    """The shared-memory structure of one dpdkr port."""
+
+    def __init__(
+        self,
+        registry: MemzoneRegistry,
+        port_name: str,
+        ring_size: int = 1024,
+    ) -> None:
+        self.port_name = port_name
+        self.zone: Memzone = registry.reserve(
+            dpdkr_zone_name(port_name), size=ring_size * 2 * 8, owner="ovs"
+        )
+        # dpdkr rings are single-producer single-consumer: one side is the
+        # guest PMD thread, the other a specific OVS PMD thread.
+        self.to_switch: Ring = self.zone.put(
+            "tx", Ring("%s.to_switch" % port_name, ring_size, RingMode.SP_SC)
+        )
+        self.to_guest: Ring = self.zone.put(
+            "rx", Ring("%s.to_guest" % port_name, ring_size, RingMode.SP_SC)
+        )
+
+    @classmethod
+    def attach(cls, zone: Memzone) -> "DpdkrSharedRings":
+        """Attach to an existing zone (guest side, post ivshmem map)."""
+        rings = cls.__new__(cls)
+        rings.port_name = zone.name.split(".", 1)[1]
+        rings.zone = zone
+        rings.to_switch = zone.get("tx")
+        rings.to_guest = zone.get("rx")
+        return rings
+
+    def __repr__(self) -> str:
+        return "<DpdkrSharedRings %s tx=%d rx=%d>" % (
+            self.port_name, len(self.to_switch), len(self.to_guest)
+        )
+
+
+class DpdkrPmd(EthDev):
+    """Vanilla guest-side dpdkr PMD: one (normal) channel.
+
+    All traffic goes through the vSwitch.  Chains built with this PMD are
+    the paper's "traditional approach" baseline.
+    """
+
+    def __init__(self, port_id: int, rings: DpdkrSharedRings) -> None:
+        super().__init__(port_id, rings.port_name)
+        self.rings = rings
+
+    def rx_burst(self, max_count: int) -> List[Mbuf]:
+        mbufs = self.rings.to_guest.dequeue_burst(max_count)
+        if mbufs:
+            self.stats.ipackets += len(mbufs)
+            self.stats.ibytes += sum(m.wire_length for m in mbufs)
+        return mbufs
+
+    def tx_burst(self, mbufs: List[Mbuf]) -> int:
+        sent = self.rings.to_switch.enqueue_burst(mbufs)
+        if sent:
+            self.stats.opackets += sent
+            self.stats.obytes += sum(
+                mbufs[index].wire_length for index in range(sent)
+            )
+        if sent < len(mbufs):
+            self.stats.oerrors += len(mbufs) - sent
+        return sent

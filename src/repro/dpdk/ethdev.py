@@ -1,0 +1,66 @@
+"""The ethdev API: the port interface guest applications program against.
+
+Transparency at this layer is the paper's core trick: the modified PMD
+(:class:`repro.core.pmd.DualChannelPmd`) implements the same interface as
+the plain single-channel :class:`repro.dpdk.dpdkr.DpdkrPmd`, so VNF code
+cannot tell whether its port currently rides the vSwitch or a bypass.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.packet.mbuf import Mbuf
+
+
+@dataclass
+class DevStats:
+    """rte_eth_stats subset."""
+
+    ipackets: int = 0
+    opackets: int = 0
+    ibytes: int = 0
+    obytes: int = 0
+    imissed: int = 0   # rx drops (ring full on the far side)
+    oerrors: int = 0   # tx failures (ring full)
+
+    def snapshot(self) -> "DevStats":
+        return DevStats(self.ipackets, self.opackets, self.ibytes,
+                        self.obytes, self.imissed, self.oerrors)
+
+
+class EthDev:
+    """Abstract port device."""
+
+    @property
+    def tx_extra_cost(self) -> float:
+        """Extra per-packet CPU cost the sender pays on this device.
+
+        Zero for plain devices; the dual-channel PMD charges the
+        shared-memory statistics update here while a bypass is active.
+        """
+        return 0.0
+
+    def __init__(self, port_id: int, name: str) -> None:
+        self.port_id = port_id
+        self.name = name
+        self.stats = DevStats()
+        self.started = False
+
+    def start(self) -> None:
+        self.started = True
+
+    def stop(self) -> None:
+        self.started = False
+
+    def rx_burst(self, max_count: int) -> List[Mbuf]:
+        """Receive up to ``max_count`` packets (non-blocking)."""
+        raise NotImplementedError
+
+    def tx_burst(self, mbufs: List[Mbuf]) -> int:
+        """Transmit; returns the number accepted (rest stay with caller)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<%s port=%d %r>" % (
+            type(self).__name__, self.port_id, self.name
+        )

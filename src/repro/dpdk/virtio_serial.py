@@ -1,0 +1,88 @@
+"""virtio-serial: the host <-> guest control channel.
+
+The compute agent uses this to reconfigure the in-guest PMD (attach /
+detach a bypass channel) without touching the network path.  Delivery is
+in-order with a configurable one-way latency; with no environment the
+channel degrades to synchronous delivery (handy in unit tests).
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import Environment
+
+
+@dataclass
+class ControlMessage:
+    """One message on the control channel."""
+
+    command: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+Handler = Callable[[ControlMessage], Optional[ControlMessage]]
+
+
+class VirtioSerial:
+    """A bidirectional, in-order host/guest message channel.
+
+    ``guest_handler`` / ``host_handler`` are invoked on delivery; a
+    handler's non-None return value is sent back as an in-order reply on
+    the opposite direction (request/response is how the agent confirms the
+    PMD really switched channels before reporting success to OVS).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        env: Optional[Environment] = None,
+        one_way_latency: float = 0.009,
+    ) -> None:
+        self.name = name
+        self.env = env
+        self.one_way_latency = one_way_latency
+        self.guest_handler: Optional[Handler] = None
+        self.host_handler: Optional[Handler] = None
+        self.to_guest_log: List[ControlMessage] = []
+        self.to_host_log: List[ControlMessage] = []
+
+    # -- sending ------------------------------------------------------------
+
+    def host_send(self, message: ControlMessage) -> None:
+        """Host -> guest; delivered after the one-way latency."""
+        self.to_guest_log.append(message)
+        self._deliver(message, to_guest=True)
+
+    def guest_send(self, message: ControlMessage) -> None:
+        """Guest -> host."""
+        self.to_host_log.append(message)
+        self._deliver(message, to_guest=False)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _deliver(self, message: ControlMessage, *, to_guest: bool) -> None:
+        if self.env is None:
+            self._dispatch(message, to_guest=to_guest)
+            return
+        self.env.process(
+            self._delayed_dispatch(message, to_guest),
+            name="%s.deliver" % self.name,
+        )
+
+    def _delayed_dispatch(self, message: ControlMessage, to_guest: bool):
+        yield self.env.timeout(self.one_way_latency)
+        self._dispatch(message, to_guest=to_guest)
+
+    def _dispatch(self, message: ControlMessage, *, to_guest: bool) -> None:
+        handler = self.guest_handler if to_guest else self.host_handler
+        if handler is None:
+            raise RuntimeError(
+                "virtio-serial %r: no %s handler attached"
+                % (self.name, "guest" if to_guest else "host")
+            )
+        reply = handler(message)
+        if reply is not None:
+            if to_guest:
+                self.guest_send(reply)
+            else:
+                self.host_send(reply)

@@ -1,0 +1,31 @@
+"""Reusable experiment harnesses (shared by benchmarks and examples)."""
+
+from repro.experiments.chain import (
+    ChainExperiment,
+    ChainResult,
+    run_chain_sweep,
+)
+from repro.experiments.multihost import (
+    MultiHostChainExperiment,
+    MultiHostResult,
+)
+from repro.experiments.service_graph import (
+    ServiceGraphExperiment,
+    ServiceGraphResult,
+)
+from repro.experiments.setup_time import (
+    SetupTimeExperiment,
+    SetupTimeResult,
+)
+
+__all__ = [
+    "ChainExperiment",
+    "ChainResult",
+    "MultiHostChainExperiment",
+    "MultiHostResult",
+    "ServiceGraphExperiment",
+    "ServiceGraphResult",
+    "SetupTimeExperiment",
+    "SetupTimeResult",
+    "run_chain_sweep",
+]

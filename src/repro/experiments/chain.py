@@ -1,0 +1,300 @@
+"""The paper's evaluation workload: chains of forwarding VMs.
+
+"In all the tests, we consider chains of VMs connected only through
+p-2-p links, where each VM has two dpdkr ports and runs a single core
+DPDK application that moves packets from one port to another" — and the
+same VMs are used with and without the highway (transparency).
+
+Two variants, matching Figure 3:
+
+* ``memory_only=True`` (Fig. 3a): the first and last VM act as traffic
+  source/sink, so no NIC or PCIe bottleneck is involved;
+* ``memory_only=False`` (Fig. 3b): traffic enters and leaves the chain
+  through two 10 G NICs.
+
+Traffic is bidirectional 64-byte frames unless configured otherwise.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.forwarder import ForwarderApp
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.rates import to_mpps
+from repro.orchestration.node import NfvNode
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.engine import Environment
+from repro.traffic.generator import SourceApp, WireSource
+from repro.traffic.profiles import uniform_profile
+from repro.traffic.sink import SinkApp, WireSink
+
+# Simulated seconds the control plane gets per bypass link to establish
+# (detection + RPC + parallel hot-plugs + two PMD round trips ≈ 0.1 s,
+# serialized through the single compute agent).
+SETTLE_PER_LINK = 0.15
+
+
+@dataclass
+class ChainResult:
+    """Outcome of one chain run."""
+
+    num_vms: int
+    bypass: bool
+    memory_only: bool
+    frame_size: int
+    duration: float
+    forward_delivered: int = 0
+    reverse_delivered: int = 0
+    forward_mpps: float = 0.0
+    reverse_mpps: float = 0.0
+    throughput_mpps: float = 0.0       # aggregate, both directions
+    latency_forward: Optional[LatencyRecorder] = None
+    latency_reverse: Optional[LatencyRecorder] = None
+    active_bypasses: int = 0
+    ovs_utilization: List[float] = field(default_factory=list)
+    setup_times: List[float] = field(default_factory=list)
+
+    @property
+    def mean_latency(self) -> float:
+        recorders = [r for r in (self.latency_forward, self.latency_reverse)
+                     if r is not None and r.count]
+        if not recorders:
+            return 0.0
+        total = sum(r.total for r in recorders)
+        count = sum(r.count for r in recorders)
+        return total / count
+
+    def row(self) -> List[object]:
+        return [
+            self.num_vms,
+            "bypass" if self.bypass else "vanilla",
+            round(self.throughput_mpps, 3),
+            round(self.mean_latency * 1e6, 2),
+            self.active_bypasses,
+        ]
+
+
+class ChainExperiment:
+    """Builds and runs one VM chain."""
+
+    def __init__(
+        self,
+        num_vms: int,
+        bypass: bool = True,
+        memory_only: bool = True,
+        frame_size: int = 64,
+        duration: float = 0.01,
+        warmup_fraction: float = 0.2,
+        n_ovs_cores: int = 2,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        ring_size: int = 1024,
+        flows: int = 4,
+        source_rate_pps: Optional[float] = None,
+        wire_load: float = 1.0,
+        burst_size: int = 32,
+        emc_enabled: bool = True,
+        accounting_enabled: bool = True,
+    ) -> None:
+        min_vms = 2 if memory_only else 1
+        if num_vms < min_vms:
+            raise ValueError(
+                "need at least %d VMs for this variant" % min_vms
+            )
+        self.num_vms = num_vms
+        self.bypass = bypass
+        self.memory_only = memory_only
+        self.frame_size = frame_size
+        self.duration = duration
+        self.warmup_fraction = warmup_fraction
+        self.n_ovs_cores = n_ovs_cores
+        self.costs = costs
+        self.ring_size = ring_size
+        self.flows = flows
+        self.source_rate_pps = source_rate_pps
+        self.wire_load = wire_load
+        self.burst_size = burst_size
+        self.emc_enabled = emc_enabled
+        self.accounting_enabled = accounting_enabled
+        self.env: Optional[Environment] = None
+        self.node: Optional[NfvNode] = None
+        self.apps: List = []
+        self.sources: List = []
+        self.sinks: Dict[str, object] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def _port(self, vm_index: int, side: int) -> str:
+        return "vm%d.p%d" % (vm_index, side)
+
+    def build(self) -> None:
+        self.env = Environment()
+        self.node = NfvNode(
+            env=self.env,
+            costs=self.costs,
+            n_pmd_cores=self.n_ovs_cores,
+            highway_enabled=self.bypass,
+            ring_size=self.ring_size,
+        )
+        self.node.switch.datapath.burst_size = self.burst_size
+        self.node.switch.datapath.emc_enabled = self.emc_enabled
+        for vm_index in range(1, self.num_vms + 1):
+            handle = self.node.create_vm(
+                "vm%d" % vm_index,
+                [self._port(vm_index, 0), self._port(vm_index, 1)],
+                ring_size=self.ring_size,
+            )
+            for pmd in handle.pmds.values():
+                pmd.accounting_enabled = self.accounting_enabled
+        if not self.memory_only:
+            self.node.add_nic("nic0")
+            self.node.add_nic("nic1")
+        self._install_rules()
+        self._build_endpoints()
+
+    def _install_rules(self) -> None:
+        node = self.node
+        # Inter-VM adjacencies, both directions (the bypassable links).
+        for vm_index in range(1, self.num_vms):
+            node.install_p2p_rule(self._port(vm_index, 1),
+                                  self._port(vm_index + 1, 0))
+            node.install_p2p_rule(self._port(vm_index + 1, 0),
+                                  self._port(vm_index, 1))
+        if not self.memory_only:
+            node.install_p2p_rule("nic0", self._port(1, 0))
+            node.install_p2p_rule(self._port(1, 0), "nic0")
+            node.install_p2p_rule(self._port(self.num_vms, 1), "nic1")
+            node.install_p2p_rule("nic1", self._port(self.num_vms, 1))
+
+    def _build_endpoints(self) -> None:
+        profile = uniform_profile(self.frame_size, flows=self.flows)
+        if self.memory_only:
+            first, last = 1, self.num_vms
+            first_handle = self.node.vms["vm%d" % first]
+            last_handle = self.node.vms["vm%d" % last]
+            # Forward direction: VM1 sources out of p1, VMN sinks at p0.
+            self.sources.append(SourceApp(
+                "src.fw", first_handle.pmd(self._port(first, 1)),
+                profile=profile, costs=self.costs,
+                rate_pps=self.source_rate_pps,
+                burst_size=self.burst_size,
+            ))
+            self.sinks["forward"] = SinkApp(
+                "sink.fw", last_handle.pmd(self._port(last, 0)),
+                costs=self.costs, burst_size=self.burst_size,
+            )
+            # Reverse direction: VMN sources out of p0, VM1 sinks at p1.
+            self.sources.append(SourceApp(
+                "src.rv", last_handle.pmd(self._port(last, 0)),
+                profile=profile, costs=self.costs,
+                rate_pps=self.source_rate_pps,
+                burst_size=self.burst_size,
+            ))
+            self.sinks["reverse"] = SinkApp(
+                "sink.rv", first_handle.pmd(self._port(first, 1)),
+                costs=self.costs, burst_size=self.burst_size,
+            )
+            middle = range(2, self.num_vms)
+        else:
+            middle = range(1, self.num_vms + 1)
+        for vm_index in middle:
+            handle = self.node.vms["vm%d" % vm_index]
+            self.apps.append(ForwarderApp(
+                "vm%d.app" % vm_index,
+                handle.pmd(self._port(vm_index, 0)),
+                handle.pmd(self._port(vm_index, 1)),
+                costs=self.costs, burst_size=self.burst_size,
+            ))
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, duration: Optional[float] = None) -> ChainResult:
+        if self.env is None:
+            self.build()
+        duration = self.duration if duration is None else duration
+        env = self.env
+        node = self.node
+        # Phase 1: control plane only — let every bypass establish before
+        # any traffic flows (cheap in events, matches how an operator
+        # would bring the service up before steering load onto it).
+        link_count = 2 * (self.num_vms - 1) + (0 if self.memory_only else 4)
+        node.settle_control_plane(
+            extra_time=SETTLE_PER_LINK * max(1, link_count)
+        )
+        expected_bypasses = 2 * (self.num_vms - 1) if self.bypass else 0
+        if node.active_bypasses != expected_bypasses:
+            raise RuntimeError(
+                "expected %d bypasses, got %d"
+                % (expected_bypasses, node.active_bypasses)
+            )
+        # Phase 2: start the data plane.
+        for app in self.apps:
+            app.start(env)
+        if self.memory_only:
+            for sink in self.sinks.values():
+                sink.start(env)
+            for source in self.sources:
+                source.start(env)
+        else:
+            profile = uniform_profile(self.frame_size, flows=self.flows)
+            self.sinks["forward"] = WireSink(env, self.node.nics["nic1"])
+            self.sinks["reverse"] = WireSink(env, self.node.nics["nic0"])
+            self.sources.append(WireSource(
+                env, self.node.nics["nic0"], profile=profile,
+                load=self.wire_load,
+            ))
+            self.sources.append(WireSource(
+                env, self.node.nics["nic1"], profile=profile,
+                load=self.wire_load,
+            ))
+        # Warmup, then the measurement window.
+        warmup_end = env.now + duration * self.warmup_fraction
+        env.run(until=warmup_end)
+        node.switch.reset_pmd_accounting()
+        fw0 = self.sinks["forward"].received
+        rv0 = self.sinks["reverse"].received
+        env.run(until=warmup_end + duration)
+        return self._collect(duration, fw0, rv0)
+
+    def _collect(self, duration: float, fw0: int, rv0: int) -> ChainResult:
+        forward = self.sinks["forward"].received - fw0
+        reverse = self.sinks["reverse"].received - rv0
+        result = ChainResult(
+            num_vms=self.num_vms,
+            bypass=self.bypass,
+            memory_only=self.memory_only,
+            frame_size=self.frame_size,
+            duration=duration,
+            forward_delivered=forward,
+            reverse_delivered=reverse,
+            forward_mpps=to_mpps(forward, duration),
+            reverse_mpps=to_mpps(reverse, duration),
+            throughput_mpps=to_mpps(forward + reverse, duration),
+            latency_forward=self.sinks["forward"].latency,
+            latency_reverse=self.sinks["reverse"].latency,
+            active_bypasses=self.node.active_bypasses,
+            ovs_utilization=self.node.switch.pmd_utilization,
+        )
+        if self.node.manager is not None:
+            # Per-link establishment time as the agent saw it (the queue
+            # wait behind earlier links of the same deployment excluded).
+            result.setup_times = [
+                link.setup_request.setup_duration
+                for link in self.node.manager.history
+                if link.setup_request is not None
+                and link.setup_request.completed
+            ]
+        return result
+
+
+def run_chain_sweep(
+    lengths,
+    bypass: bool,
+    memory_only: bool = True,
+    **kwargs,
+) -> List[ChainResult]:
+    """One Figure-3 series: throughput for each chain length."""
+    return [
+        ChainExperiment(num_vms=length, bypass=bypass,
+                        memory_only=memory_only, **kwargs).run()
+        for length in lengths
+    ]

@@ -1,0 +1,20 @@
+"""Hypervisor substrate: VMs, ivshmem hot-plug and the compute agent.
+
+The paper's control plane needs two things from the platform: (1) QEMU's
+ability to hot-plug a shared-memory (ivshmem) device into a running VM,
+and (2) a *compute agent* on the host that knows which VM owns which
+dpdkr port and can reconfigure the in-guest PMD over virtio-serial.
+Both are modelled here with the latencies that dominate the ~100 ms
+bypass-establishment time.
+"""
+
+from repro.hypervisor.qemu import Hypervisor, HypervisorError, VirtualMachine
+from repro.hypervisor.compute_agent import AgentRequest, ComputeAgent
+
+__all__ = [
+    "AgentRequest",
+    "ComputeAgent",
+    "Hypervisor",
+    "HypervisorError",
+    "VirtualMachine",
+]

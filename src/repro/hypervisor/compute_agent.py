@@ -1,0 +1,362 @@
+"""The compute agent: OVS's arm into the VM world.
+
+OVS only knows ports and rules; it has no idea which VM a dpdkr port is
+plugged into.  The compute agent (the paper extends the un-orchestrator
+NFV node's agent) keeps that mapping and services two requests from the
+vSwitch:
+
+* **setup bypass** — hot-plug the bypass memzone into *both* VMs as
+  ivshmem devices (in parallel), then configure the two in-guest PMDs
+  over virtio-serial: receiver first, sender second (make-before-break,
+  so no packet is ever written into an unwatched ring);
+* **teardown bypass** — ordered shutdown: stall the sender (the
+  receiver keeps draining the ring meanwhile), detach the receiver,
+  re-home the ring's leftovers onto the normal channel, release the
+  sender onto the vSwitch path, then unplug the device from both VMs —
+  no packet is lost or reordered.
+
+Every request records a stage-by-stage timeline; the setup-time
+experiment (paper: ~100 ms from p-2-p recognition to the PMD using the
+bypass) reads those timestamps.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dpdk.virtio_serial import ControlMessage
+from repro.hypervisor.qemu import Hypervisor, HypervisorError, VirtualMachine
+from repro.mem.ring import Ring
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.engine import Environment, Event
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class AgentRequest:
+    """One OVS -> agent request and its timeline (simulated seconds)."""
+
+    request_id: int
+    kind: str                     # "setup" | "teardown"
+    src_port_name: str
+    dst_port_name: str
+    zone_name: str
+    flow_id: Optional[int] = None
+    t_requested: float = 0.0
+    t_rpc_done: float = 0.0
+    t_zones_plugged: float = 0.0
+    t_rx_configured: float = 0.0
+    t_tx_configured: float = 0.0
+    t_drained: float = 0.0
+    t_completed: float = 0.0
+    salvaged_packets: int = 0
+    completed: bool = False
+    error: Optional[str] = None   # set when the request aborted (VM died)
+    done_event: Optional[Event] = None
+
+    @property
+    def setup_duration(self) -> float:
+        """Detection-to-bypass-in-use time (the paper's ~100 ms figure)."""
+        return self.t_tx_configured - self.t_requested
+
+
+class ComputeAgent:
+    """The host agent that plugs bypass channels and configures PMDs."""
+
+    def __init__(
+        self,
+        hypervisor: Hypervisor,
+        env: Optional[Environment] = None,
+        costs: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.hypervisor = hypervisor
+        self.env = env
+        self.costs = costs
+        self._port_owner: Dict[str, str] = {}
+        self._pending_replies: Dict[int, Event] = {}
+        self._reply_serial = itertools.count(1)
+        self.requests: list = []
+        self.dead_vms: set = set()
+        hypervisor.on_destroy.append(self._on_vm_destroyed)
+
+    def _on_vm_destroyed(self, vm_name: str) -> None:
+        # Ownership is kept (for post-mortem queries) but marked dead so
+        # no new bypass is ever set up toward this VM's ports.
+        self.dead_vms.add(vm_name)
+        # Any in-flight PMD command toward this VM will never be
+        # answered: fail its reply event so the waiting request aborts
+        # instead of hanging.
+        for reply_id, (event, owner) in list(self._pending_replies.items()):
+            if owner == vm_name:
+                del self._pending_replies[reply_id]
+                event.fail(HypervisorError(
+                    "VM %r died awaiting PMD reply" % vm_name
+                ))
+
+    # -- topology knowledge -------------------------------------------------
+
+    def register_port_owner(self, port_name: str, vm_name: str) -> None:
+        """Record that ``port_name`` is plugged into ``vm_name``.
+
+        The agent learns this when it creates the VM and wires its dpdkr
+        ports; this mapping is exactly the knowledge OVS lacks.
+        """
+        self._port_owner[port_name] = vm_name
+        vm = self.hypervisor.vms.get(vm_name)
+        if vm is not None and vm.serial.host_handler is None:
+            vm.serial.host_handler = self._on_guest_reply
+
+    def owner_of(self, port_name: str) -> str:
+        try:
+            return self._port_owner[port_name]
+        except KeyError:
+            raise HypervisorError(
+                "compute agent does not know port %r" % port_name
+            ) from None
+
+    def ports_of(self, vm_name: str) -> list:
+        return [port for port, owner in self._port_owner.items()
+                if owner == vm_name]
+
+    def is_port_alive(self, port_name: str) -> bool:
+        """True when the port is known and its VM is still running."""
+        owner = self._port_owner.get(port_name)
+        return owner is not None and owner not in self.dead_vms
+
+    # -- requests from OVS ---------------------------------------------------------
+
+    def setup_bypass(
+        self,
+        src_port_name: str,
+        dst_port_name: str,
+        zone_name: str,
+        flow_id: int,
+    ) -> AgentRequest:
+        """Establish a directed bypass src -> dst over ``zone_name``.
+
+        In simulation mode returns immediately; wait on
+        ``request.done_event``.  Synchronous otherwise.
+        """
+        request = self._new_request("setup", src_port_name, dst_port_name,
+                                    zone_name, flow_id=flow_id)
+        if self.env is None:
+            self._setup_sync(request)
+        else:
+            self.env.process(self._setup_process(request),
+                             name="agent.setup.%d" % request.request_id)
+        return request
+
+    def teardown_bypass(
+        self,
+        src_port_name: str,
+        dst_port_name: str,
+        zone_name: str,
+        ring: Ring,
+    ) -> AgentRequest:
+        """Remove a bypass, losing none of the packets still in ``ring``."""
+        request = self._new_request("teardown", src_port_name,
+                                    dst_port_name, zone_name)
+        if self.env is None:
+            self._teardown_sync(request, ring)
+        else:
+            self.env.process(self._teardown_process(request, ring),
+                             name="agent.teardown.%d" % request.request_id)
+        return request
+
+    def _new_request(self, kind: str, src: str, dst: str, zone_name: str,
+                     flow_id: Optional[int] = None) -> AgentRequest:
+        request = AgentRequest(
+            request_id=next(_request_ids),
+            kind=kind,
+            src_port_name=src,
+            dst_port_name=dst,
+            zone_name=zone_name,
+            flow_id=flow_id,
+            t_requested=self._now(),
+        )
+        if self.env is not None:
+            request.done_event = self.env.event()
+        self.requests.append(request)
+        return request
+
+    def _now(self) -> float:
+        return self.env.now if self.env is not None else 0.0
+
+    def _vm_of(self, port_name: str) -> VirtualMachine:
+        return self.hypervisor.vms[self.owner_of(port_name)]
+
+    # -- synchronous execution (unit tests, env-less deployments) ------------------
+
+    def _setup_sync(self, request: AgentRequest) -> None:
+        for port_name in (request.src_port_name, request.dst_port_name):
+            self.hypervisor.plug_ivshmem(self.owner_of(port_name),
+                                         request.zone_name)
+        self._send_pmd_command(self._vm_of(request.dst_port_name),
+                               "attach_bypass", request.dst_port_name,
+                               request, role="rx")
+        self._send_pmd_command(self._vm_of(request.src_port_name),
+                               "attach_bypass", request.src_port_name,
+                               request, role="tx")
+        request.completed = True
+
+    def _teardown_sync(self, request: AgentRequest, ring: Ring) -> None:
+        self._send_pmd_command(self._vm_of(request.src_port_name),
+                               "detach_bypass", request.src_port_name,
+                               request, role="tx", stall=True)
+        self._send_pmd_command(self._vm_of(request.dst_port_name),
+                               "detach_bypass", request.dst_port_name,
+                               request, role="rx")
+        request.salvaged_packets = self._salvage(request, ring)
+        self._send_pmd_command(self._vm_of(request.src_port_name),
+                               "resume_tx", request.src_port_name,
+                               request, role="tx")
+        for port_name in (request.src_port_name, request.dst_port_name):
+            self.hypervisor.unplug_ivshmem(self.owner_of(port_name),
+                                           request.zone_name)
+        request.completed = True
+
+    def _salvage(self, request: AgentRequest, ring: Ring) -> int:
+        """Re-home packets stuck in a bypass ring onto the normal channel."""
+        from repro.dpdk.dpdkr import dpdkr_zone_name
+
+        leftovers = ring.drain()
+        if not leftovers:
+            return 0
+        zone = self.hypervisor.registry.lookup(
+            dpdkr_zone_name(request.dst_port_name)
+        )
+        normal_rx = zone.get("rx")
+        accepted = normal_rx.enqueue_burst(leftovers)
+        for mbuf in leftovers[accepted:]:
+            mbuf.free()
+        return len(leftovers)
+
+    # -- simulated execution ----------------------------------------------------------
+
+    def _setup_process(self, request: AgentRequest):
+        try:
+            yield from self._setup_steps(request)
+        except Exception as error:  # noqa: BLE001 - a VM died mid-flight
+            request.error = str(error)
+            request.completed = True
+            request.done_event.succeed(request)
+
+    def _setup_steps(self, request: AgentRequest):
+        env = self.env
+        # 1. The OVS -> agent RPC itself.
+        yield env.timeout(self.costs.agent_rpc)
+        request.t_rpc_done = env.now
+        # 2. ivshmem hot-plug into both VMs, in parallel.
+        plugs = [
+            self.hypervisor.plug_ivshmem(self.owner_of(port_name),
+                                         request.zone_name)
+            for port_name in (request.src_port_name, request.dst_port_name)
+        ]
+        yield env.all_of(plugs)
+        request.t_zones_plugged = env.now
+        # 3. Receiver PMD first: make-before-break.
+        yield self._pmd_command_event(
+            self._vm_of(request.dst_port_name), "attach_bypass",
+            request.dst_port_name, request, role="rx",
+        )
+        request.t_rx_configured = env.now
+        # 4. Sender PMD: from the next poll iteration, TX rides the bypass.
+        yield self._pmd_command_event(
+            self._vm_of(request.src_port_name), "attach_bypass",
+            request.src_port_name, request, role="tx",
+        )
+        request.t_tx_configured = env.now
+        request.t_completed = env.now
+        request.completed = True
+        request.done_event.succeed(request)
+
+    def _teardown_process(self, request: AgentRequest, ring: Ring):
+        try:
+            yield from self._teardown_steps(request, ring)
+        except Exception as error:  # noqa: BLE001 - a VM died mid-flight
+            request.error = str(error)
+            request.completed = True
+            request.done_event.succeed(request)
+
+    def _teardown_steps(self, request: AgentRequest, ring: Ring):
+        """Ordered teardown: rx off -> tx stalled -> salvage -> resume.
+
+        Detaching the receiver first freezes the bypass ring's contents;
+        stalling the sender opens a quiet window in which the leftovers
+        are re-homed onto the normal channel *ahead of* any future
+        switch-path packet, so teardown reorders nothing and loses
+        nothing.
+        """
+        env = self.env
+        yield env.timeout(self.costs.agent_rpc)
+        request.t_rpc_done = env.now
+        # 1. Sender off the bypass, stalled until the handover is done —
+        #    the still-attached receiver keeps draining the ring in the
+        #    meantime, shrinking the salvage.
+        yield self._pmd_command_event(
+            self._vm_of(request.src_port_name), "detach_bypass",
+            request.src_port_name, request, role="tx", stall=True,
+        )
+        request.t_tx_configured = env.now
+        # 2. Receiver stops polling the bypass ring.
+        yield self._pmd_command_event(
+            self._vm_of(request.dst_port_name), "detach_bypass",
+            request.dst_port_name, request, role="rx",
+        )
+        request.t_rx_configured = env.now
+        # 3. Re-home any leftovers onto the normal channel (in order:
+        #    the sender is quiesced, so nothing can overtake them).
+        request.salvaged_packets = self._salvage(request, ring)
+        request.t_drained = env.now
+        # 4. Release the sender onto the vSwitch path.
+        yield self._pmd_command_event(
+            self._vm_of(request.src_port_name), "resume_tx",
+            request.src_port_name, request, role="tx",
+        )
+        unplugs = [
+            self.hypervisor.unplug_ivshmem(self.owner_of(port_name),
+                                           request.zone_name)
+            for port_name in (request.src_port_name, request.dst_port_name)
+        ]
+        yield env.all_of(unplugs)
+        request.t_completed = env.now
+        request.completed = True
+        request.done_event.succeed(request)
+
+    # -- virtio-serial plumbing ------------------------------------------------------
+
+    def _on_guest_reply(self, message: ControlMessage) -> None:
+        reply_id = message.args.get("request_id")
+        entry = self._pending_replies.pop(reply_id, None)
+        if entry is not None:
+            entry[0].succeed(message)
+
+    def _pmd_command_event(self, vm: VirtualMachine, command: str,
+                           port_name: str, request: AgentRequest,
+                           role: str, **extra) -> Event:
+        if vm.name in self.dead_vms or vm.name not in self.hypervisor.vms:
+            raise HypervisorError(
+                "cannot configure PMD: VM %r is gone" % vm.name
+            )
+        event = self.env.event()
+        reply_id = self._send_pmd_command(vm, command, port_name, request,
+                                          role=role, **extra)
+        self._pending_replies[reply_id] = (event, vm.name)
+        return event
+
+    def _send_pmd_command(self, vm: VirtualMachine, command: str,
+                          port_name: str, request: AgentRequest,
+                          role: str, **extra) -> int:
+        reply_id = next(self._reply_serial)
+        args = {
+            "request_id": reply_id,
+            "port_name": port_name,
+            "zone_name": request.zone_name,
+            "role": role,
+            **extra,
+        }
+        if role == "tx" and command == "attach_bypass":
+            args["flow_id"] = request.flow_id
+        vm.serial.host_send(ControlMessage(command, args))
+        return reply_id

@@ -1,0 +1,175 @@
+"""QEMU/KVM model: virtual machines and ivshmem device (un)plug.
+
+A :class:`VirtualMachine` bundles a guest EAL (whose memzone visibility
+is enforced by the shared :class:`~repro.mem.memzone.MemzoneRegistry`),
+the set of ivshmem devices currently attached, and a virtio-serial
+control channel.  The :class:`Hypervisor` exposes the monitor commands
+the compute agent uses — ``device_add``/``device_del`` for ivshmem —
+with the hot-plug latency that dominates bypass setup time.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.dpdk.eal import Eal
+from repro.dpdk.virtio_serial import VirtioSerial
+from repro.mem.memzone import MemzoneRegistry
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.engine import Environment, Process
+
+
+class HypervisorError(RuntimeError):
+    """VM lifecycle / device model errors."""
+
+
+class VirtualMachine:
+    """One KVM/QEMU guest."""
+
+    def __init__(self, name: str, registry: MemzoneRegistry,
+                 serial: VirtioSerial) -> None:
+        self.name = name
+        self.eal = Eal(registry, vm_name=name)
+        self.serial = serial
+        self.ivshmem_devices: List[str] = []  # zone names, in plug order
+        self.running = True
+
+    def has_zone(self, zone_name: str) -> bool:
+        return zone_name in self.ivshmem_devices
+
+    def __repr__(self) -> str:
+        return "<VirtualMachine %s ivshmem=%d>" % (
+            self.name, len(self.ivshmem_devices)
+        )
+
+
+class Hypervisor:
+    """The host's VM manager (QEMU monitor facade)."""
+
+    def __init__(
+        self,
+        registry: MemzoneRegistry,
+        env: Optional[Environment] = None,
+        costs: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.registry = registry
+        self.env = env
+        self.costs = costs
+        self.vms: Dict[str, VirtualMachine] = {}
+        self.hotplugs = 0
+        self.hotunplugs = 0
+        # Called with the VM name after a VM is destroyed/crashes; the
+        # compute agent and the bypass manager subscribe here to clean
+        # up channel state that references the dead guest.
+        self.on_destroy: List = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create_vm(self, name: str,
+                  boot_zones: Optional[List[str]] = None) -> VirtualMachine:
+        """Boot a VM with ``boot_zones`` attached as cold-plugged ivshmem
+        devices (the dpdkr normal channels the compute agent wires at VM
+        creation)."""
+        if name in self.vms:
+            raise HypervisorError("VM %r already exists" % name)
+        serial = VirtioSerial(
+            "%s.serial" % name,
+            env=self.env,
+            one_way_latency=self.costs.virtio_serial_rtt / 2,
+        )
+        vm = VirtualMachine(name, self.registry, serial)
+        for zone_name in boot_zones or []:
+            self.registry.map_into(zone_name, name)
+            vm.ivshmem_devices.append(zone_name)
+        self.vms[name] = vm
+        return vm
+
+    def destroy_vm(self, name: str) -> None:
+        """Tear a VM down (graceful stop or crash — same host-side view).
+
+        All its ivshmem mappings are released first, then the destroy
+        listeners run so higher layers (compute agent, bypass manager)
+        can clean up channels that referenced the guest.
+        """
+        vm = self._vm(name)
+        for zone_name in list(vm.ivshmem_devices):
+            self.registry.unmap_from(zone_name, name)
+            vm.ivshmem_devices.remove(zone_name)
+        vm.running = False
+        del self.vms[name]
+        for listener in list(self.on_destroy):
+            listener(name)
+
+    def force_unplug(self, vm_name: str, zone_name: str) -> None:
+        """Immediate unplug for failure handling (no monitor latency)."""
+        vm = self._vm(vm_name)
+        if not vm.has_zone(zone_name):
+            raise HypervisorError(
+                "VM %r has no ivshmem for %r" % (vm_name, zone_name)
+            )
+        self._complete_unplug(vm, zone_name)
+
+    def _vm(self, name: str) -> VirtualMachine:
+        try:
+            return self.vms[name]
+        except KeyError:
+            raise HypervisorError("no VM named %r" % name) from None
+
+    # -- ivshmem hot-plug (QEMU monitor device_add/device_del) -----------------
+
+    def plug_ivshmem(self, vm_name: str, zone_name: str
+                     ) -> Optional[Process]:
+        """Hot-plug ``zone_name`` into the VM.
+
+        With an environment this takes :attr:`CostModel.ivshmem_hotplug`
+        simulated seconds (QEMU device_add + guest PCI rescan) and returns
+        the process to wait on; without one it is immediate.
+        """
+        vm = self._vm(vm_name)
+        if vm.has_zone(zone_name):
+            raise HypervisorError(
+                "VM %r already has ivshmem for %r" % (vm_name, zone_name)
+            )
+        self.registry.lookup(zone_name)  # fail fast on bogus zones
+        if self.env is None:
+            self._complete_plug(vm, zone_name)
+            return None
+        return self.env.process(
+            self._plug_process(vm, zone_name),
+            name="qemu.plug.%s" % zone_name,
+        )
+
+    def _plug_process(self, vm: VirtualMachine, zone_name: str):
+        yield self.env.timeout(self.costs.qemu_monitor_cmd)
+        yield self.env.timeout(self.costs.ivshmem_hotplug)
+        self._complete_plug(vm, zone_name)
+
+    def _complete_plug(self, vm: VirtualMachine, zone_name: str) -> None:
+        if not vm.running:
+            return  # the VM died while the hot-plug was in flight
+        self.registry.map_into(zone_name, vm.name)
+        vm.ivshmem_devices.append(zone_name)
+        self.hotplugs += 1
+
+    def unplug_ivshmem(self, vm_name: str, zone_name: str
+                       ) -> Optional[Process]:
+        """Hot-unplug; returns a waitable process in simulation mode."""
+        vm = self._vm(vm_name)
+        if not vm.has_zone(zone_name):
+            raise HypervisorError(
+                "VM %r has no ivshmem for %r" % (vm_name, zone_name)
+            )
+        if self.env is None:
+            self._complete_unplug(vm, zone_name)
+            return None
+        return self.env.process(
+            self._unplug_process(vm, zone_name),
+            name="qemu.unplug.%s" % zone_name,
+        )
+
+    def _unplug_process(self, vm: VirtualMachine, zone_name: str):
+        yield self.env.timeout(self.costs.qemu_monitor_cmd)
+        self._complete_unplug(vm, zone_name)
+
+    def _complete_unplug(self, vm: VirtualMachine, zone_name: str) -> None:
+        self.registry.unmap_from(zone_name, vm.name)
+        vm.ivshmem_devices.remove(zone_name)
+        self.hotunplugs += 1

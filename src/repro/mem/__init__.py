@@ -1,0 +1,28 @@
+"""Shared-memory substrate: memzones, rings and mempools.
+
+These model the DPDK objects the prototype is built from:
+
+* :class:`~repro.mem.memzone.MemzoneRegistry` — named shared-memory
+  segments (DPDK memzones on hugepages; exposed to VMs as ivshmem BARs).
+* :class:`~repro.mem.ring.Ring` — fixed-capacity FIFO with
+  single/multi producer-consumer modes and bulk/burst enqueue/dequeue,
+  mirroring ``rte_ring`` semantics.
+* :class:`~repro.mem.mempool.Mempool` — mbuf allocator with per-consumer
+  caching, mirroring ``rte_mempool``.
+"""
+
+from repro.mem.memzone import Memzone, MemzoneError, MemzoneRegistry
+from repro.mem.mempool import Mempool, MempoolEmptyError
+from repro.mem.ring import Ring, RingFullError, RingEmptyError, RingMode
+
+__all__ = [
+    "Mempool",
+    "MempoolEmptyError",
+    "Memzone",
+    "MemzoneError",
+    "MemzoneRegistry",
+    "Ring",
+    "RingEmptyError",
+    "RingFullError",
+    "RingMode",
+]

@@ -1,0 +1,88 @@
+"""An ``rte_mempool``-style mbuf allocator with bulk get/put.
+
+Traffic generators allocate mbufs here and sinks free them; because the
+pool is fixed-size, a leak anywhere in the data path shows up as
+allocation failure — the same backpressure behaviour a real DPDK
+deployment has, and one of the invariants the property tests check
+(every experiment must end with all mbufs back in the pool).
+"""
+
+from typing import List, Optional
+
+from repro.packet.mbuf import Mbuf
+
+
+class MempoolEmptyError(RuntimeError):
+    """Raised when the pool cannot satisfy an allocation."""
+
+
+class Mempool:
+    """Fixed-size pool of recycled :class:`Mbuf` descriptors."""
+
+    def __init__(self, name: str, size: int = 4096) -> None:
+        if size <= 0:
+            raise ValueError("mempool size must be positive")
+        self.name = name
+        self.size = size
+        self._free: List[Mbuf] = [Mbuf(pool=self) for _ in range(size)]
+        self.alloc_count = 0
+        self.free_count_total = 0
+        self.alloc_failures = 0
+
+    @property
+    def available(self) -> int:
+        """Mbufs currently free in the pool."""
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        return self.size - len(self._free)
+
+    def get(self) -> Mbuf:
+        """Allocate one mbuf; raises :class:`MempoolEmptyError` when dry."""
+        if not self._free:
+            self.alloc_failures += 1
+            raise MempoolEmptyError("mempool %r exhausted" % self.name)
+        mbuf = self._free.pop()
+        mbuf.reset()
+        self.alloc_count += 1
+        return mbuf
+
+    def get_bulk(self, count: int) -> List[Mbuf]:
+        """Allocate exactly ``count`` mbufs or none."""
+        if len(self._free) < count:
+            self.alloc_failures += 1
+            raise MempoolEmptyError(
+                "mempool %r: need %d mbufs, have %d"
+                % (self.name, count, len(self._free))
+            )
+        out = self._free[-count:]
+        del self._free[-count:]
+        for mbuf in out:
+            mbuf.reset()
+        self.alloc_count += count
+        return out
+
+    def try_get(self) -> Optional[Mbuf]:
+        """Allocate one mbuf, or return None instead of raising."""
+        if not self._free:
+            self.alloc_failures += 1
+            return None
+        return self.get()
+
+    def put(self, mbuf: Mbuf) -> None:
+        """Return an mbuf to the pool (called by :meth:`Mbuf.free`)."""
+        if mbuf.pool is not self:
+            raise ValueError(
+                "mbuf belongs to pool %r, not %r"
+                % (getattr(mbuf.pool, "name", None), self.name)
+            )
+        if len(self._free) >= self.size:
+            raise RuntimeError("mempool %r over-freed" % self.name)
+        self._free.append(mbuf)
+        self.free_count_total += 1
+
+    def __repr__(self) -> str:
+        return "<Mempool %r %d/%d free>" % (
+            self.name, len(self._free), self.size
+        )

@@ -1,0 +1,207 @@
+"""A ``rte_ring``-style fixed-capacity FIFO.
+
+The DPDK ring is the transport under both the *normal* channel (VM ↔
+vSwitch) and the *bypass* channel (VM ↔ VM) of a dpdkr port.  We keep the
+semantics that the architecture depends on:
+
+* fixed power-of-two capacity, usable slots = capacity - 1 (like DPDK);
+* bulk enqueue/dequeue (all-or-nothing) and burst (as-many-as-fit);
+* single- vs multi-producer/consumer modes — in this cooperative
+  simulation they only toggle bookkeeping/assertion behaviour, but the
+  mode is recorded because misconfiguring it is a real deployment bug the
+  tests exercise;
+* watermark signalling (enqueue reports when occupancy exceeds it).
+
+The implementation is a preallocated slot array with head/tail indices —
+deliberately not ``collections.deque`` — so occupancy arithmetic matches
+the C layout and stays O(1).
+"""
+
+import enum
+from typing import Any, List, Optional, Sequence
+
+
+class RingError(RuntimeError):
+    """Base class for ring errors."""
+
+
+class RingFullError(RingError):
+    """Bulk enqueue failed: not enough free slots."""
+
+
+class RingEmptyError(RingError):
+    """Bulk dequeue failed: not enough queued objects."""
+
+
+class RingMode(enum.Enum):
+    """Producer/consumer concurrency contract."""
+
+    SP_SC = "sp_sc"  # single producer, single consumer (dpdkr default)
+    MP_MC = "mp_mc"
+    SP_MC = "sp_mc"
+    MP_SC = "mp_sc"
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class Ring:
+    """Fixed-capacity FIFO with DPDK-style bulk/burst operations."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 1024,
+        mode: RingMode = RingMode.SP_SC,
+        watermark: Optional[int] = None,
+    ) -> None:
+        if not _is_power_of_two(capacity):
+            raise ValueError(
+                "ring capacity must be a power of two, got %d" % capacity
+            )
+        if watermark is not None and not 0 < watermark < capacity:
+            raise ValueError("watermark must be in (0, capacity)")
+        self.name = name
+        self.capacity = capacity
+        self.mode = mode
+        self.watermark = watermark
+        self._mask = capacity - 1
+        self._slots: List[Any] = [None] * capacity
+        self._head = 0  # next slot to write (producer index)
+        self._tail = 0  # next slot to read (consumer index)
+        # Lifetime statistics; the PMD exports these per channel.
+        self.enqueued = 0
+        self.dequeued = 0
+        self.enqueue_failures = 0
+        self.dequeue_failures = 0
+
+    # -- occupancy ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return (self._head - self._tail) & self._mask
+
+    @property
+    def free_count(self) -> int:
+        """Free slots (capacity - 1 usable, like rte_ring)."""
+        return self.capacity - 1 - len(self)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._head == self._tail
+
+    @property
+    def is_full(self) -> bool:
+        return self.free_count == 0
+
+    @property
+    def above_watermark(self) -> bool:
+        return self.watermark is not None and len(self) >= self.watermark
+
+    # -- single-object convenience ------------------------------------------
+
+    def enqueue(self, obj: Any) -> None:
+        """Enqueue one object; raises :class:`RingFullError` when full."""
+        if self.free_count < 1:
+            self.enqueue_failures += 1
+            raise RingFullError("ring %r full" % self.name)
+        self._slots[self._head & self._mask] = obj
+        self._head = (self._head + 1) & self._mask
+        self.enqueued += 1
+
+    def dequeue(self) -> Any:
+        """Dequeue one object; raises :class:`RingEmptyError` when empty."""
+        if self.is_empty:
+            self.dequeue_failures += 1
+            raise RingEmptyError("ring %r empty" % self.name)
+        obj = self._slots[self._tail & self._mask]
+        self._slots[self._tail & self._mask] = None
+        self._tail = (self._tail + 1) & self._mask
+        self.dequeued += 1
+        return obj
+
+    # -- bulk: all-or-nothing ------------------------------------------------
+
+    def enqueue_bulk(self, objs: Sequence[Any]) -> None:
+        """Enqueue all of ``objs`` or none (raises RingFullError)."""
+        count = len(objs)
+        if self.free_count < count:
+            self.enqueue_failures += 1
+            raise RingFullError(
+                "ring %r: need %d slots, have %d"
+                % (self.name, count, self.free_count)
+            )
+        head = self._head
+        for obj in objs:
+            self._slots[head & self._mask] = obj
+            head = (head + 1) & self._mask
+        self._head = head
+        self.enqueued += count
+
+    def dequeue_bulk(self, count: int) -> List[Any]:
+        """Dequeue exactly ``count`` objects or none (raises RingEmptyError)."""
+        if len(self) < count:
+            self.dequeue_failures += 1
+            raise RingEmptyError(
+                "ring %r: need %d objects, have %d"
+                % (self.name, count, len(self))
+            )
+        return self._take(count)
+
+    # -- burst: best effort ----------------------------------------------------
+
+    def enqueue_burst(self, objs: Sequence[Any]) -> int:
+        """Enqueue as many of ``objs`` as fit; returns the number enqueued."""
+        space = self.free_count
+        count = min(space, len(objs))
+        if count == 0:
+            if objs:
+                self.enqueue_failures += 1
+            return 0
+        head = self._head
+        for index in range(count):
+            self._slots[head & self._mask] = objs[index]
+            head = (head + 1) & self._mask
+        self._head = head
+        self.enqueued += count
+        if count < len(objs):
+            self.enqueue_failures += 1
+        return count
+
+    def dequeue_burst(self, max_count: int) -> List[Any]:
+        """Dequeue up to ``max_count`` objects (possibly empty list)."""
+        count = min(max_count, len(self))
+        if count == 0:
+            return []
+        return self._take(count)
+
+    def _take(self, count: int) -> List[Any]:
+        tail = self._tail
+        mask = self._mask
+        slots = self._slots
+        out = [None] * count
+        for index in range(count):
+            position = tail & mask
+            out[index] = slots[position]
+            slots[position] = None
+            tail = (tail + 1) & mask
+        self._tail = tail
+        self.dequeued += count
+        return out
+
+    # -- maintenance -------------------------------------------------------------
+
+    def drain(self) -> List[Any]:
+        """Remove and return everything queued (used at bypass teardown)."""
+        return self._take(len(self))
+
+    def peek(self) -> Any:
+        """Return the oldest object without removing it."""
+        if self.is_empty:
+            raise RingEmptyError("ring %r empty" % self.name)
+        return self._slots[self._tail & self._mask]
+
+    def __repr__(self) -> str:
+        return "<Ring %r %d/%d %s>" % (
+            self.name, len(self), self.capacity - 1, self.mode.value
+        )

@@ -1,0 +1,22 @@
+"""Measurement utilities: latency reservoirs, rate meters, report tables."""
+
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.rates import RateMeter, mpps, to_mpps
+from repro.metrics.report import format_table, format_series
+from repro.metrics.timeline import (
+    EventTimeline,
+    TimelineEvent,
+    attach_highway_tracing,
+)
+
+__all__ = [
+    "EventTimeline",
+    "LatencyRecorder",
+    "RateMeter",
+    "TimelineEvent",
+    "attach_highway_tracing",
+    "format_series",
+    "format_table",
+    "mpps",
+    "to_mpps",
+]

@@ -1,0 +1,81 @@
+"""Latency sampling with a bounded reservoir.
+
+Sinks stamp per-packet latency (drain time minus injection time); keeping
+every sample of a multi-million-packet run would dominate memory, so the
+recorder keeps a uniform reservoir (Vitter's algorithm R) plus exact
+min/max/mean over the full population.
+"""
+
+import random
+from typing import List, Optional
+
+
+class LatencyRecorder:
+    """Streaming latency statistics with reservoir sampling."""
+
+    def __init__(self, reservoir_size: int = 4096,
+                 seed: Optional[int] = 0xC0FFEE) -> None:
+        if reservoir_size <= 0:
+            raise ValueError("reservoir size must be positive")
+        self.reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
+        self._reservoir: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min_value = float("inf")
+        self.max_value = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.reservoir_size:
+            self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile from the reservoir (0 <= fraction <= 1)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(int(fraction * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's population into this one."""
+        for value in other._reservoir:
+            self.record(value)
+        # Adjust population stats beyond the sampled values.
+        extra = other.count - len(other._reservoir)
+        if extra > 0:
+            self.count += extra
+            self.total += other.mean * extra
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "<LatencyRecorder empty>"
+        return "<LatencyRecorder n=%d mean=%.3gus p99=%.3gus>" % (
+            self.count, self.mean * 1e6, self.p99 * 1e6
+        )

@@ -1,0 +1,50 @@
+"""Throughput accounting."""
+
+from typing import List, Tuple
+
+
+def to_mpps(packets: int, seconds: float) -> float:
+    """Packets over a window, expressed in million packets per second."""
+    if seconds <= 0:
+        return 0.0
+    return packets / seconds / 1e6
+
+
+def mpps(value: float) -> str:
+    """Human formatting for an Mpps figure."""
+    return "%.3f Mpps" % value
+
+
+class RateMeter:
+    """Windowed rate: sample (time, cumulative count) pairs."""
+
+    def __init__(self, name: str = "rate") -> None:
+        self.name = name
+        self._samples: List[Tuple[float, int]] = []
+
+    def sample(self, now: float, cumulative_count: int) -> None:
+        self._samples.append((now, cumulative_count))
+
+    @property
+    def samples(self) -> List[Tuple[float, int]]:
+        return list(self._samples)
+
+    def rate_between(self, start_index: int, end_index: int) -> float:
+        """Packets/second between two samples."""
+        t0, c0 = self._samples[start_index]
+        t1, c1 = self._samples[end_index]
+        if t1 <= t0:
+            return 0.0
+        return (c1 - c0) / (t1 - t0)
+
+    @property
+    def overall_rate(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        return self.rate_between(0, len(self._samples) - 1)
+
+    def interval_rates(self) -> List[float]:
+        return [
+            self.rate_between(index, index + 1)
+            for index in range(len(self._samples) - 1)
+        ]

@@ -1,0 +1,87 @@
+"""A reactive L2 learning-switch controller application.
+
+The classic OpenFlow controller program: unknown traffic is punted to
+the controller (table miss), source MACs are learned against their
+ingress ports, known destinations get a flow installed and the pending
+packet re-injected with packet-out, unknown destinations are flooded.
+
+In this repository it serves two purposes:
+
+* it exercises the full reactive path (PacketIn -> FlowMod + PacketOut)
+  over the binary OpenFlow codec;
+* it demonstrates the detector's conservatism: learning-switch rules
+  match on ``eth_dst`` and are *not* point-to-point, so none of them
+  triggers a bypass — reactive L2 switching and the transparent highway
+  coexist without interfering.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.openflow.actions import OutputAction
+from repro.openflow.controller import SimpleController
+from repro.openflow.match import Match
+from repro.openflow.messages import PacketIn
+from repro.packet.headers import Ethernet
+from repro.packet.packet import Packet
+
+
+class LearningSwitchApp:
+    """Drives a :class:`SimpleController` as an L2 learning switch."""
+
+    def __init__(
+        self,
+        controller: SimpleController,
+        ports: List[int],
+        idle_timeout: int = 30,
+        priority: int = 10,
+    ) -> None:
+        """``ports`` is the set of switch ports to flood over (the
+        controller cannot discover them in this OF subset)."""
+        self.controller = controller
+        self.ports = list(ports)
+        self.idle_timeout = idle_timeout
+        self.priority = priority
+        self.mac_table: Dict[int, int] = {}
+        self.floods = 0
+        self.flows_installed = 0
+        controller.on_packet_in = self.on_packet_in
+
+    def add_port(self, ofport: int) -> None:
+        if ofport not in self.ports:
+            self.ports.append(ofport)
+
+    def lookup(self, mac_value: int) -> Optional[int]:
+        return self.mac_table.get(mac_value)
+
+    def on_packet_in(self, message: PacketIn) -> None:
+        packet = Packet.unpack(message.data)
+        eth = packet.get(Ethernet)
+        if eth is None:
+            return
+        # Learn (or migrate) the source.
+        self.mac_table[eth.src.value] = message.in_port
+
+        out_port = self.mac_table.get(eth.dst.value)
+        if (out_port is None or eth.dst.is_broadcast
+                or eth.dst.is_multicast):
+            self._flood(message)
+            return
+        if out_port == message.in_port:
+            return  # destination is behind the ingress port: drop
+        # Program the fast path for this destination, then release the
+        # pending packet along the same route.
+        self.controller.install_flow(
+            Match(eth_dst=eth.dst.value),
+            [OutputAction(out_port)],
+            priority=self.priority,
+            idle_timeout=self.idle_timeout,
+        )
+        self.flows_installed += 1
+        self.controller.packet_out(message.data, [OutputAction(out_port)])
+
+    def _flood(self, message: PacketIn) -> None:
+        self.floods += 1
+        actions = [OutputAction(port) for port in self.ports
+                   if port != message.in_port]
+        if actions:
+            self.controller.packet_out(message.data, actions)

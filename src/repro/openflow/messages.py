@@ -1,0 +1,190 @@
+"""OpenFlow protocol messages (the subset the system exchanges).
+
+These are plain value objects; :mod:`repro.openflow.wire` maps them to
+and from OpenFlow 1.3 binary.  The xid threading, handshake and
+request/reply pairing live in :mod:`repro.openflow.controller` and
+:mod:`repro.vswitch.bridge`.
+"""
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+
+_xids = itertools.count(1)
+
+
+def next_xid() -> int:
+    return next(_xids)
+
+
+@dataclass
+class OpenFlowMessage:
+    """Base message: every message carries a transaction id."""
+
+    xid: int = field(default_factory=next_xid)
+
+
+@dataclass
+class Hello(OpenFlowMessage):
+    version: int = 4  # OpenFlow 1.3
+
+
+@dataclass
+class EchoRequest(OpenFlowMessage):
+    data: bytes = b""
+
+
+@dataclass
+class EchoReply(OpenFlowMessage):
+    data: bytes = b""
+
+
+@dataclass
+class FeaturesRequest(OpenFlowMessage):
+    pass
+
+
+@dataclass
+class FeaturesReply(OpenFlowMessage):
+    datapath_id: int = 0
+    n_buffers: int = 0
+    n_tables: int = 1
+    capabilities: int = 0
+
+
+class FlowModCommand(enum.IntEnum):
+    ADD = 0
+    MODIFY = 1
+    MODIFY_STRICT = 2
+    DELETE = 3
+    DELETE_STRICT = 4
+
+
+@dataclass
+class FlowMod(OpenFlowMessage):
+    """The message the p-2-p link detector analyses."""
+
+    command: FlowModCommand = FlowModCommand.ADD
+    match: Match = field(default_factory=Match)
+    actions: List[Action] = field(default_factory=list)
+    priority: int = 0x8000
+    cookie: int = 0
+    idle_timeout: int = 0
+    hard_timeout: int = 0
+    table_id: int = 0
+    out_port: Optional[int] = None  # delete filter
+    check_overlap: bool = False
+
+
+class FlowRemovedReason(enum.IntEnum):
+    IDLE_TIMEOUT = 0
+    HARD_TIMEOUT = 1
+    DELETE = 2
+
+
+@dataclass
+class FlowRemoved(OpenFlowMessage):
+    match: Match = field(default_factory=Match)
+    priority: int = 0x8000
+    cookie: int = 0
+    reason: FlowRemovedReason = FlowRemovedReason.DELETE
+    duration_sec: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+
+
+class PacketInReason(enum.IntEnum):
+    NO_MATCH = 0
+    ACTION = 1
+
+
+@dataclass
+class PacketIn(OpenFlowMessage):
+    in_port: int = 0
+    reason: PacketInReason = PacketInReason.NO_MATCH
+    data: bytes = b""
+
+
+@dataclass
+class PacketOut(OpenFlowMessage):
+    """Controller-injected packet.
+
+    With the bypass active this is the message that still has to travel
+    through the *normal* channel — the reason the PMD keeps polling it.
+    """
+
+    in_port: int = 0xFFFFFFFE  # OFPP_CONTROLLER as ingress
+    actions: List[Action] = field(default_factory=list)
+    data: bytes = b""
+
+
+@dataclass
+class FlowStatsRequest(OpenFlowMessage):
+    match: Match = field(default_factory=Match)
+    out_port: Optional[int] = None
+
+
+@dataclass
+class FlowStatsEntry:
+    match: Match
+    priority: int
+    cookie: int
+    packet_count: int
+    byte_count: int
+    duration_sec: float
+    actions: Sequence[Action] = ()
+
+
+@dataclass
+class FlowStatsReply(OpenFlowMessage):
+    stats: List[FlowStatsEntry] = field(default_factory=list)
+
+
+@dataclass
+class PortStatsRequest(OpenFlowMessage):
+    port_no: Optional[int] = None  # None = all ports
+
+
+@dataclass
+class PortStatsEntry:
+    port_no: int
+    rx_packets: int
+    tx_packets: int
+    rx_bytes: int
+    tx_bytes: int
+    rx_dropped: int = 0
+    tx_dropped: int = 0
+
+
+@dataclass
+class PortStatsReply(OpenFlowMessage):
+    stats: List[PortStatsEntry] = field(default_factory=list)
+
+
+@dataclass
+class PortMod(OpenFlowMessage):
+    """Administratively enable/disable a port (OFPPC_PORT_DOWN)."""
+
+    port_no: int = 0
+    down: bool = False
+
+
+@dataclass
+class BarrierRequest(OpenFlowMessage):
+    pass
+
+
+@dataclass
+class BarrierReply(OpenFlowMessage):
+    pass
+
+
+@dataclass
+class ErrorMsg(OpenFlowMessage):
+    error_type: int = 0
+    code: int = 0
+    data: bytes = b""

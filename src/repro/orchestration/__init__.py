@@ -1,0 +1,39 @@
+"""Orchestration: the NFV node, service graphs and their deployment.
+
+:class:`NfvNode` wires a complete host (vSwitch + hypervisor + compute
+agent + transparent highway); :class:`ServiceGraph` describes VNFs and
+the links between them (point-to-point or classified); the
+:class:`Orchestrator` turns a graph into VMs, dpdkr ports and OpenFlow
+steering rules — after which the p-2-p detector transparently upgrades
+every eligible link to a bypass channel.
+"""
+
+from repro.orchestration.graph import (
+    Endpoint,
+    GraphLink,
+    ServiceGraph,
+    VnfSpec,
+)
+from repro.orchestration.nffg import NffgError, dump_nffg, load_nffg
+from repro.orchestration.node import NfvNode, VmHandle
+from repro.orchestration.orchestrator import Deployment, Orchestrator
+from repro.orchestration.validation import (
+    InvariantViolation,
+    verify_host_invariants,
+)
+
+__all__ = [
+    "Deployment",
+    "Endpoint",
+    "GraphLink",
+    "NffgError",
+    "NfvNode",
+    "Orchestrator",
+    "ServiceGraph",
+    "VmHandle",
+    "VnfSpec",
+    "InvariantViolation",
+    "dump_nffg",
+    "load_nffg",
+    "verify_host_invariants",
+]

@@ -1,0 +1,116 @@
+"""The orchestrator: compile a service graph onto an NFV node.
+
+Mirrors the paper's Figure 1(b): the orchestrator receives the graph,
+sends *compute commands* (create the VMs with their dpdkr ports — via
+the node's hypervisor/agent) and *network commands* (the OpenFlow
+steering rules — via the controller).  It never mentions bypasses: those
+appear on their own when the p-2-p link detector recognizes the rules.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.openflow.actions import OutputAction
+from repro.openflow.match import Match
+from repro.orchestration.graph import Endpoint, GraphLink, ServiceGraph
+from repro.orchestration.node import NfvNode, VmHandle
+
+TOTAL_LINK_PRIORITY = 100
+CLASSIFIED_LINK_PRIORITY = 200
+
+
+@dataclass
+class Deployment:
+    """The realized service: handles to everything that was created."""
+
+    graph: ServiceGraph
+    node: NfvNode
+    vm_handles: Dict[str, VmHandle] = field(default_factory=dict)
+    apps: Dict[str, object] = field(default_factory=dict)
+    installed_rules: List[GraphLink] = field(default_factory=list)
+
+    def pmd(self, endpoint_text: str):
+        """The guest-side ethdev for ``"vnf.port"``."""
+        vnf, _sep, port = endpoint_text.partition(".")
+        return self.vm_handles[vnf].pmd(endpoint_text)
+
+    def start_apps(self, env) -> None:
+        for app in self.apps.values():
+            app.start(env)
+
+    def stop_apps(self) -> None:
+        for app in self.apps.values():
+            app.stop()
+
+
+class Orchestrator:
+    """Deploys service graphs onto a single NFV node."""
+
+    def __init__(self, node: NfvNode) -> None:
+        self.node = node
+
+    def deploy(self, graph: ServiceGraph) -> Deployment:
+        graph.validate()
+        deployment = Deployment(graph=graph, node=self.node)
+        self._create_externals(graph)
+        self._create_vms(graph, deployment)
+        self._install_steering(graph, deployment)
+        return deployment
+
+    # -- compute commands -----------------------------------------------------
+
+    def _create_externals(self, graph: ServiceGraph) -> None:
+        for nic_name in graph.external_ports:
+            if nic_name not in self.node.ports:
+                self.node.add_nic(nic_name)
+
+    def _create_vms(self, graph: ServiceGraph,
+                    deployment: Deployment) -> None:
+        for spec in graph.vnfs.values():
+            port_names = [
+                graph.port_key(Endpoint(spec.name, port))
+                for port in spec.ports
+            ]
+            handle = self.node.create_vm(spec.name, port_names)
+            deployment.vm_handles[spec.name] = handle
+            if spec.app_factory is not None:
+                pmds = {
+                    logical: handle.pmd(
+                        graph.port_key(Endpoint(spec.name, logical))
+                    )
+                    for logical in spec.ports
+                }
+                deployment.apps[spec.name] = spec.app_factory(pmds)
+
+    # -- network commands ----------------------------------------------------------
+
+    def _install_steering(self, graph: ServiceGraph,
+                          deployment: Deployment) -> None:
+        for link in graph.links:
+            src_port = graph.port_key(link.src)
+            dst_port = graph.port_key(link.dst)
+            priority = link.priority
+            if priority is None:
+                priority = (TOTAL_LINK_PRIORITY if link.is_total
+                            else CLASSIFIED_LINK_PRIORITY)
+            match = Match(
+                in_port=self.node.ofport(src_port),
+                **link.match_fields,
+            )
+            self.node.controller.install_flow(
+                match,
+                [OutputAction(self.node.ofport(dst_port))],
+                priority=priority,
+            )
+            deployment.installed_rules.append(link)
+        self.node.settle_control_plane(
+            extra_time=0.15 * max(1, len(graph.links))
+        )
+
+    def undeploy_link(self, graph: ServiceGraph, link: GraphLink) -> None:
+        """Remove one steering rule (triggers bypass teardown if any)."""
+        src_port = graph.port_key(link.src)
+        match = Match(in_port=self.node.ofport(src_port),
+                      **link.match_fields)
+        self.node.controller.delete_flow(match)
+        self.node.settle_control_plane(extra_time=0.1)

@@ -1,0 +1,126 @@
+"""Host invariant checker: one call to validate a node's global state.
+
+Useful after any experiment or chaotic test sequence: it cross-checks
+the detector, the bypass manager, the guest PMDs, the memzone registry
+and the port flags against each other and raises
+:class:`InvariantViolation` with a precise message on the first
+inconsistency.  The stateful fuzz suite enforces the same properties
+step by step; this is the packaged, user-callable version.
+"""
+
+from typing import List
+
+from repro.core.bypass import LinkState
+from repro.vswitch.ports import DpdkrOvsPort
+
+
+class InvariantViolation(AssertionError):
+    """A cross-component consistency check failed."""
+
+
+def verify_host_invariants(node) -> List[str]:
+    """Validate ``node`` (an :class:`~repro.orchestration.node.NfvNode`).
+
+    Returns the list of checks performed (for reporting); raises
+    :class:`InvariantViolation` on the first failure.
+    """
+    checks: List[str] = []
+
+    def ensure(condition: bool, message: str) -> None:
+        if not condition:
+            raise InvariantViolation(message)
+
+    manager = node.manager
+    if manager is None:
+        checks.append("highway disabled: nothing to validate")
+        return checks
+    detector = manager.detector
+    datapath = node.switch.datapath
+
+    # 1. Every managed link is a currently-detected link, and healthy.
+    for src_ofport, bypass_link in manager.active_links.items():
+        ensure(
+            bypass_link.state in (LinkState.PENDING,
+                                  LinkState.ESTABLISHING,
+                                  LinkState.ACTIVE,
+                                  LinkState.TEARING_DOWN),
+            "link %s in terminal state yet still tracked"
+            % bypass_link.zone_name,
+        )
+        if bypass_link.state == LinkState.ACTIVE \
+                and not bypass_link.revoked:
+            ensure(
+                src_ofport in detector.links,
+                "active bypass %s has no detected p2p link"
+                % bypass_link.zone_name,
+            )
+    checks.append("manager links consistent with detector")
+
+    # 2. Guest PMD channel state matches the managed links.
+    for handle in node.vms.values():
+        if not handle.vm.running:
+            continue
+        for port_name, pmd in handle.pmds.items():
+            ofport = node.ofport(port_name)
+            expected_tx = any(
+                link.link.src_ofport == ofport
+                and link.state in (LinkState.ESTABLISHING,
+                                   LinkState.ACTIVE)
+                and (link.setup_request is None
+                     or link.setup_request.completed)
+                for link in manager.active_links.values()
+            )
+            if expected_tx:
+                ensure(pmd.bypass_tx_active,
+                       "PMD %s should be on a bypass TX" % port_name)
+            expected_rx = sum(
+                1 for link in manager.active_links.values()
+                if link.link.dst_ofport == ofport
+                and link.state == LinkState.ACTIVE
+            )
+            ensure(
+                len(pmd.bypass_rx_rings) >= expected_rx,
+                "PMD %s polls %d bypass rings, expected >= %d"
+                % (port_name, len(pmd.bypass_rx_rings), expected_rx),
+            )
+    checks.append("guest PMD channel state consistent")
+
+    # 3. Memzone accounting: every bypass zone belongs to a live link;
+    #    every mapping points at a live VM.
+    live_vms = {name for name, handle in node.vms.items()
+                if handle.vm.running}
+    active_zones = {link.zone_name
+                    for link in manager.active_links.values()}
+    for zone_name in list(node.registry._zones):
+        zone = node.registry.lookup(zone_name)
+        for vm_name in zone.mapped_by:
+            ensure(vm_name in live_vms,
+                   "zone %s mapped into dead VM %s"
+                   % (zone_name, vm_name))
+        if zone_name.startswith("bypass."):
+            ensure(zone_name in active_zones,
+                   "orphan bypass zone %s" % zone_name)
+    checks.append("memzone registry clean")
+
+    # 4. Port bypass flags mirror ACTIVE links.
+    involved = set()
+    for link in manager.active_links.values():
+        if link.state == LinkState.ACTIVE:
+            involved.add(link.link.src_ofport)
+            involved.add(link.link.dst_ofport)
+    for ofport, port in datapath.ports.items():
+        if isinstance(port, DpdkrOvsPort):
+            ensure(port.bypass_active == (ofport in involved),
+                   "port %s bypass flag out of sync" % port.name)
+    checks.append("port flags consistent")
+
+    # 5. Historic links are terminal and keep their stats blocks.
+    for link in manager.history:
+        if link not in manager.active_links.values():
+            ensure(link.state == LinkState.REMOVED,
+                   "historic link %s not terminal" % link.zone_name)
+        ensure(link.stats in manager.stats_blocks,
+               "stats block of %s lost" % link.zone_name)
+    checks.append("history terminal, stats retained")
+
+    return checks

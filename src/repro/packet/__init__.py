@@ -1,0 +1,65 @@
+"""Packet model: protocol headers, checksums, mbufs and flow keys.
+
+This package provides the data-plane packet representation used across the
+library.  Headers serialize to real wire bytes (``struct``-based), so every
+component that claims to parse or build packets is exercised against actual
+binary encodings rather than ad-hoc dictionaries.
+"""
+
+from repro.packet.checksum import internet_checksum, pseudo_header_checksum
+from repro.packet.headers import (
+    ETH_TYPE_ARP,
+    ETH_TYPE_IPV4,
+    ETH_TYPE_IPV6,
+    ETH_TYPE_VLAN,
+    IP_PROTO_ICMP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    Arp,
+    Ethernet,
+    Icmp,
+    IPv4,
+    IPv6,
+    MacAddress,
+    Tcp,
+    Udp,
+    Vlan,
+)
+from repro.packet.flowkey import FlowKey, extract_flow_key
+from repro.packet.mbuf import Mbuf
+from repro.packet.packet import Packet
+from repro.packet.builder import (
+    make_tcp_packet,
+    make_udp_packet,
+    make_arp_request,
+    pad_to,
+)
+
+__all__ = [
+    "Arp",
+    "ETH_TYPE_ARP",
+    "ETH_TYPE_IPV4",
+    "ETH_TYPE_IPV6",
+    "ETH_TYPE_VLAN",
+    "Ethernet",
+    "FlowKey",
+    "IP_PROTO_ICMP",
+    "IP_PROTO_TCP",
+    "IP_PROTO_UDP",
+    "IPv4",
+    "IPv6",
+    "Icmp",
+    "MacAddress",
+    "Mbuf",
+    "Packet",
+    "Tcp",
+    "Udp",
+    "Vlan",
+    "extract_flow_key",
+    "internet_checksum",
+    "make_arp_request",
+    "make_tcp_packet",
+    "make_udp_packet",
+    "pad_to",
+    "pseudo_header_checksum",
+]

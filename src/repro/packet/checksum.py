@@ -1,0 +1,52 @@
+"""Internet checksum (RFC 1071) and the TCP/UDP pseudo-header variant."""
+
+import struct
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """Compute the 16-bit one's-complement internet checksum of ``data``.
+
+    ``initial`` is a partial sum carried over from previously summed bytes
+    (used for pseudo-header checksums).  Returns the final checksum value,
+    ready to be stored in a header field.
+    """
+    total = initial
+    length = len(data)
+    # Sum 16-bit words; pad the trailing odd byte with a zero byte.
+    if length % 2:
+        data = data + b"\x00"
+        length += 1
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    # Fold carries back into the low 16 bits.
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _ones_complement_sum(data: bytes) -> int:
+    """Return the raw (unfolded-complemented) one's-complement sum."""
+    total = 0
+    if len(data) % 2:
+        data = data + b"\x00"
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    return total
+
+
+def pseudo_header_checksum(
+    src_ip: int, dst_ip: int, proto: int, payload: bytes
+) -> int:
+    """Checksum of an IPv4 pseudo-header followed by ``payload``.
+
+    Used by TCP and UDP.  ``src_ip``/``dst_ip`` are 32-bit integers in host
+    representation of the network-order value (as stored by :class:`IPv4`).
+    """
+    pseudo = struct.pack("!IIBBH", src_ip, dst_ip, 0, proto, len(payload))
+    partial = _ones_complement_sum(pseudo)
+    return internet_checksum(payload, initial=partial)
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (with its checksum field included) sums to zero."""
+    return internet_checksum(data) == 0

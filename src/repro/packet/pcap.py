@@ -1,0 +1,131 @@
+"""pcap file I/O and a transparent capture tap.
+
+Debugging an NFV chain means looking at packets; this module writes and
+reads the classic libpcap format (microsecond timestamps, LINKTYPE_
+ETHERNET) so captures taken inside the simulation open in Wireshark/
+tcpdump, and provides :class:`CaptureTap` — an ethdev wrapper that
+records traffic crossing any guest port without the application (or the
+bypass machinery underneath) noticing.
+"""
+
+import struct
+from typing import BinaryIO, Iterable, List, Optional, Tuple
+
+from repro.dpdk.ethdev import EthDev
+from repro.packet.mbuf import Mbuf
+from repro.packet.packet import Packet
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapError(ValueError):
+    """Malformed pcap data."""
+
+
+def write_pcap(stream: BinaryIO,
+               records: Iterable[Tuple[float, bytes]],
+               snaplen: int = 65535) -> int:
+    """Write ``(timestamp_seconds, frame_bytes)`` records; returns count."""
+    stream.write(_GLOBAL_HEADER.pack(
+        PCAP_MAGIC, PCAP_VERSION[0], PCAP_VERSION[1], 0, 0, snaplen,
+        LINKTYPE_ETHERNET,
+    ))
+    count = 0
+    for timestamp, frame in records:
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1e6))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        captured = frame[:snaplen]
+        stream.write(_RECORD_HEADER.pack(seconds, micros, len(captured),
+                                         len(frame)))
+        stream.write(captured)
+        count += 1
+    return count
+
+
+def read_pcap(stream: BinaryIO) -> List[Tuple[float, bytes]]:
+    """Read every record of a classic pcap stream."""
+    header = stream.read(_GLOBAL_HEADER.size)
+    if len(header) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic = struct.unpack("<I", header[:4])[0]
+    if magic == PCAP_MAGIC:
+        endian = "<"
+    elif magic == struct.unpack(">I", struct.pack("<I", PCAP_MAGIC))[0]:
+        endian = ">"
+    else:
+        raise PcapError("bad pcap magic %#x" % magic)
+    record_header = struct.Struct(endian + "IIII")
+    records: List[Tuple[float, bytes]] = []
+    while True:
+        raw = stream.read(record_header.size)
+        if not raw:
+            return records
+        if len(raw) < record_header.size:
+            raise PcapError("truncated pcap record header")
+        seconds, micros, captured_len, _orig_len = record_header.unpack(raw)
+        frame = stream.read(captured_len)
+        if len(frame) < captured_len:
+            raise PcapError("truncated pcap record body")
+        records.append((seconds + micros / 1e6, frame))
+
+
+class CaptureTap(EthDev):
+    """A transparent ethdev wrapper that records traffic.
+
+    Drop-in between an application and its port: ``rx_burst``/``tx_burst``
+    delegate to the inner device while serializing each packet into an
+    in-memory capture.  Works identically whether the inner port is
+    riding the normal channel or a bypass — a tap in the guest sees the
+    traffic either way, which is itself a transparency demonstration.
+    """
+
+    def __init__(self, inner: EthDev, clock=None,
+                 max_records: int = 65536) -> None:
+        super().__init__(inner.port_id, "%s.tap" % inner.name)
+        self.inner = inner
+        self.clock = clock or (lambda: 0.0)
+        self.max_records = max_records
+        self.records: List[Tuple[float, bytes, str]] = []
+        self.truncated = False
+
+    def _record(self, mbuf: Mbuf, direction: str) -> None:
+        if len(self.records) >= self.max_records:
+            self.truncated = True
+            return
+        packet = mbuf.packet
+        frame = packet.pack() if isinstance(packet, Packet) else bytes(
+            packet or b""
+        )
+        self.records.append((self.clock(), frame, direction))
+
+    def rx_burst(self, max_count: int) -> List[Mbuf]:
+        mbufs = self.inner.rx_burst(max_count)
+        for mbuf in mbufs:
+            self._record(mbuf, "rx")
+        return mbufs
+
+    def tx_burst(self, mbufs: List[Mbuf]) -> int:
+        sent = self.inner.tx_burst(mbufs)
+        for mbuf in mbufs[:sent]:
+            self._record(mbuf, "tx")
+        return sent
+
+    @property
+    def tx_extra_cost(self) -> float:
+        return self.inner.tx_extra_cost
+
+    def dump(self, stream: BinaryIO,
+             direction: Optional[str] = None) -> int:
+        """Write the capture as pcap; optionally one direction only."""
+        selected = (
+            (ts, frame) for ts, frame, d in self.records
+            if direction is None or d == direction
+        )
+        return write_pcap(stream, selected)

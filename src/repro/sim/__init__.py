@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+The paper's testbed (Xeon cores, 10 G NICs, PCIe) is replaced by a
+discrete-event simulation: every polling thread (OVS PMD core, in-guest
+PMD loop, NIC wire) is a :class:`~repro.sim.engine.Process` that performs
+functional work on the real data structures (rings, flow tables) and then
+advances simulated time by the calibrated cost of that work
+(:mod:`repro.sim.costmodel`).  Throughput and latency fall out of packet
+counts over simulated time, so structural bottlenecks — a single OVS PMD
+core shared by every chain hop, the 64-byte line rate of a 10 G port —
+reproduce the paper's performance shapes without native-speed packet I/O.
+"""
+
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.nic import Nic, NIC_10G_LINE_RATE_BPS, line_rate_pps
+from repro.sim.pollloop import PollLoop
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "NIC_10G_LINE_RATE_BPS",
+    "Nic",
+    "PollLoop",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "line_rate_pps",
+]

@@ -1,0 +1,69 @@
+"""Calibrated per-operation costs (the testbed stand-in).
+
+All values are in seconds unless suffixed otherwise.  They are chosen to
+sit in the ranges published for OVS-DPDK on Ivy Bridge-era Xeons (the
+paper used an E5-2690 v2 @ 3 GHz with Intel 82599ES 10 G NICs) and are
+the *only* knobs the performance experiments depend on; see DESIGN.md §6
+for the rationale behind each number.
+"""
+
+from dataclasses import dataclass, replace
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation costs consumed by poll loops and control flows."""
+
+    # --- vSwitch datapath, per packet -----------------------------------
+    # Datapath lookup + action execution on the OVS PMD core.
+    ovs_emc_hit: float = 70 * NS
+    ovs_classifier_hit: float = 250 * NS
+    ovs_miss_upcall: float = 50 * US
+
+    # --- rings / memory, per packet ---------------------------------------
+    ring_op: float = 18 * NS          # enqueue or dequeue, burst-amortized
+    vm_forward: float = 45 * NS       # guest app: rx + touch + tx
+    bypass_stats_update: float = 4 * NS  # shared-memory counter bump
+
+    # --- per poll-iteration fixed overhead --------------------------------
+    burst_overhead: float = 120 * NS
+    idle_poll: float = 250 * NS       # cost of polling an empty ring
+
+    # --- NIC / PCIe ----------------------------------------------------------
+    nic_pmd_rx: float = 30 * NS       # host per-packet cost to rx from NIC
+    nic_pmd_tx: float = 30 * NS
+
+    # --- control plane ------------------------------------------------------
+    flowmod_processing: float = 120 * US
+    detector_analysis: float = 40 * US
+    agent_rpc: float = 8 * MS         # OVS -> compute agent request
+    ivshmem_hotplug: float = 55 * MS  # QEMU device_add + guest PCI scan
+    virtio_serial_rtt: float = 18 * MS  # PMD reconfiguration round trip
+    qemu_monitor_cmd: float = 2 * MS
+    stats_shared_read: float = 5 * US
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A model with every data-path cost multiplied by ``factor``.
+
+        Used by sensitivity ablations to check that who-wins conclusions
+        do not hinge on the absolute calibration.
+        """
+        return replace(
+            self,
+            ovs_emc_hit=self.ovs_emc_hit * factor,
+            ovs_classifier_hit=self.ovs_classifier_hit * factor,
+            ring_op=self.ring_op * factor,
+            vm_forward=self.vm_forward * factor,
+            bypass_stats_update=self.bypass_stats_update * factor,
+            burst_overhead=self.burst_overhead * factor,
+            idle_poll=self.idle_poll * factor,
+            nic_pmd_rx=self.nic_pmd_rx * factor,
+            nic_pmd_tx=self.nic_pmd_tx * factor,
+        )
+
+
+DEFAULT_COST_MODEL = CostModel()

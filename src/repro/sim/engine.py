@@ -1,0 +1,329 @@
+"""A compact discrete-event engine (generator-based, simpy-flavoured).
+
+Processes are Python generators that ``yield`` events; the environment
+resumes them when those events fire.  Only the features the library needs
+are implemented — timeouts, one-shot events, process join, AllOf/AnyOf
+composition and interrupts — but those are implemented completely and are
+covered by their own unit/property tests.
+"""
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (double trigger, yield of non-event...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that callbacks / processes can wait on."""
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
+                 "_scheduled", "_processed")
+
+    PENDING = object()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = Event.PENDING
+        self._ok = True
+        self._triggered = False
+        self._scheduled = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (fired or failed)."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is Event.PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event with ``value`` at the current simulation time."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with an exception; waiters will see it raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float,
+                 value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError("negative timeout delay: %r" % delay)
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; itself an event that fires on termination."""
+
+    __slots__ = ("generator", "name", "_target", "is_alive")
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("process body must be a generator")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self.is_alive = True
+        # Bootstrap: resume the process at the current time.
+        initial = Event(env)
+        initial.callbacks.append(self._resume)
+        initial.succeed()
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(
+                "cannot interrupt dead process %r" % self.name
+            )
+        if self._target is not None:
+            # Stop waiting on the old target.
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        wakeup = Event(self.env)
+        wakeup.callbacks.append(
+            lambda _ev: self._resume_with_interrupt(cause)
+        )
+        wakeup.succeed()
+
+    def _resume_with_interrupt(self, cause: Any) -> None:
+        if not self.is_alive:
+            return
+        try:
+            target = self.generator.throw(Interrupt(cause))
+        except StopIteration as stop:
+            self._terminate(True, stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process crashed
+            self._terminate(False, exc)
+            return
+        self._wait_on(target)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        self._target = None
+        try:
+            if event._ok:
+                target = self.generator.send(event._value)
+            else:
+                target = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self._terminate(True, stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process crashed
+            self._terminate(False, exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._terminate(
+                False,
+                SimulationError(
+                    "process %r yielded %r (not an Event)"
+                    % (self.name, target)
+                ),
+            )
+            return
+        self._target = target
+        if target._processed:
+            # Already fired and delivered: resume via a fresh zero-delay
+            # event so ordering stays deterministic.
+            immediate = Event(self.env)
+            immediate.callbacks.append(lambda _ev: self._resume(target))
+            immediate.succeed()
+        else:
+            target.callbacks.append(self._resume)
+
+    def _terminate(self, ok: bool, value: Any) -> None:
+        self.is_alive = False
+        if ok:
+            self.succeed(value)
+        else:
+            if not self.callbacks:
+                # Nobody is waiting on this process: surface the crash.
+                self.env._crashed.append((self, value))
+            self.fail(value)
+
+
+class Condition(Event):
+    """Base for AllOf/AnyOf composition."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment",
+                 events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            # Key on *delivery*, not trigger state: a Timeout is
+            # "triggered" from construction but fires in the future; its
+            # callback will run when the clock reaches it.  Only events
+            # whose callbacks have already run must be consumed now.
+            if event._processed:
+                self._on_fire(event)
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when every component event has fired; value = list of values."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(Condition):
+    """Fires when the first component event fires; value = that value."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(event._value)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List = []
+        self._eid = 0
+        self._crashed: List = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: Optional[str] = None
+                ) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        event._scheduled = True
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if self._crashed:
+            process, exc = self._crashed.pop()
+            raise SimulationError(
+                "process %r crashed: %r" % (process.name, exc)
+            ) from exc
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the simulation time at exit.  With ``until`` set, the
+        clock is advanced exactly to ``until`` even if the next event lies
+        beyond it (the event stays queued).
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                "cannot run backwards: now=%g until=%g" % (self._now, until)
+            )
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = until
+        return self._now

@@ -1,0 +1,28 @@
+"""Traffic generation and sinking for the experiments.
+
+Two families, matching the paper's two test setups:
+
+* in-VM sources/sinks (:class:`SourceApp` / :class:`SinkApp`) — the
+  first and last VM of a chain generate and drain traffic themselves
+  (Figure 3(a), "memory-only": no NIC or PCIe bottleneck);
+* wire sources/sinks (:class:`WireSource` / :class:`WireSink`) — traffic
+  enters and leaves through the 10 G NICs (Figure 3(b)).
+"""
+
+from repro.traffic.generator import SourceApp, WireSource
+from repro.traffic.sink import SinkApp, WireSink
+from repro.traffic.profiles import (
+    IMIX_PROFILE,
+    TrafficProfile,
+    uniform_profile,
+)
+
+__all__ = [
+    "IMIX_PROFILE",
+    "SinkApp",
+    "SourceApp",
+    "TrafficProfile",
+    "WireSink",
+    "WireSource",
+    "uniform_profile",
+]

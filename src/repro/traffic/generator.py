@@ -1,0 +1,176 @@
+"""Traffic sources.
+
+:class:`SourceApp` runs inside a VM on its own core and transmits
+through an ethdev port (possibly a bypassed one — the source neither
+knows nor cares).  :class:`WireSource` paces frames onto a NIC's receive
+side at a configurable fraction of line rate.
+
+Both draw mbufs from a dedicated mempool: when the downstream path is
+congested, allocation pressure and ring-full TX failures provide the
+same backpressure a hardware generator sees, and leaked packets are
+detectable as pool exhaustion at the end of a run.
+"""
+
+import itertools
+from typing import Optional
+
+from repro.dpdk.ethdev import EthDev
+from repro.mem.mempool import Mempool
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.engine import Environment, Interrupt, Process
+from repro.sim.nic import Nic
+from repro.sim.pollloop import PollLoop
+from repro.traffic.profiles import TrafficProfile, uniform_profile
+
+
+class SourceApp:
+    """In-VM traffic generator (a DPDK app with no RX side).
+
+    Generates as fast as its single core allows unless ``rate_pps`` caps
+    it; each packet is stamped with the injection timestamp for latency
+    probes downstream.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        port: EthDev,
+        profile: Optional[TrafficProfile] = None,
+        pool_size: int = 8192,
+        rate_pps: Optional[float] = None,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        burst_size: int = 32,
+    ) -> None:
+        self.name = name
+        self.port = port
+        self.profile = profile or uniform_profile()
+        self.pool = Mempool("%s.pool" % name, size=pool_size)
+        self.rate_pps = rate_pps
+        self.costs = costs
+        self.burst_size = burst_size
+        self.generated = 0
+        self.tx_failures = 0
+        self.loop: Optional[PollLoop] = None
+        self._env: Optional[Environment] = None
+        self._template_cycle = itertools.cycle(self.profile.templates)
+        self._seq = itertools.count()
+        self._credit = 0.0
+        self._last_credit_time = 0.0
+
+    def _now(self) -> float:
+        return self._env.now if self._env is not None else 0.0
+
+    def _allowance(self) -> int:
+        """Packets the rate limiter permits right now."""
+        if self.rate_pps is None:
+            return self.burst_size
+        now = self._now()
+        self._credit += (now - self._last_credit_time) * self.rate_pps
+        self._last_credit_time = now
+        # Never accumulate more than a couple of bursts of credit.
+        self._credit = min(self._credit, 4.0 * self.burst_size)
+        return int(self._credit)
+
+    def iteration(self) -> float:
+        count = min(self._allowance(), self.burst_size,
+                    self.pool.available)
+        if count <= 0:
+            return 0.0
+        now = self._now()
+        mbufs = self.pool.get_bulk(count)
+        for mbuf in mbufs:
+            template = next(self._template_cycle)
+            mbuf.packet = template.packet
+            mbuf.wire_length = template.wire_length
+            mbuf.userdata = template.flow_key  # pre-extracted
+            mbuf.seq = next(self._seq)
+            mbuf.ts_created = now
+            mbuf.ts_injected = now
+        sent = self.port.tx_burst(mbufs)
+        for rejected in mbufs[sent:]:
+            self.tx_failures += 1
+            rejected.free()
+        self.generated += sent
+        if self.rate_pps is not None:
+            self._credit -= count
+        return self.costs.burst_overhead + count * (
+            self.costs.vm_forward + self.port.tx_extra_cost
+        )
+
+    def start(self, env: Environment) -> PollLoop:
+        self._env = env
+        self._last_credit_time = env.now
+        self.loop = PollLoop(env, self.name, self.iteration,
+                             costs=self.costs).start()
+        return self.loop
+
+    def stop(self) -> None:
+        if self.loop is not None:
+            self.loop.stop()
+            self.loop = None
+
+
+class WireSource:
+    """External generator feeding a NIC at a fraction of line rate."""
+
+    def __init__(
+        self,
+        env: Environment,
+        nic: Nic,
+        profile: Optional[TrafficProfile] = None,
+        load: float = 1.0,
+        pool_size: int = 16384,
+        burst_size: int = 32,
+        name: Optional[str] = None,
+    ) -> None:
+        if not 0.0 < load <= 1.0:
+            raise ValueError("load must be in (0, 1]")
+        self.env = env
+        self.nic = nic
+        self.profile = profile or uniform_profile()
+        self.load = load
+        self.burst_size = burst_size
+        self.name = name or "%s.src" % nic.name
+        self.pool = Mempool("%s.pool" % self.name, size=pool_size)
+        self.generated = 0
+        self.nic_drops_seen = 0
+        self._template_cycle = itertools.cycle(self.profile.templates)
+        self._seq = itertools.count()
+        self._stopped = False
+        self.process: Process = env.process(self._run(), name=self.name)
+
+    def _burst_interval(self, wire_length: int) -> float:
+        serialization = (wire_length + 20) * 8 / self.nic.rate_bps
+        return self.burst_size * serialization / self.load
+
+    def _run(self):
+        env = self.env
+        try:
+            while not self._stopped:
+                count = min(self.burst_size, self.pool.available)
+                if count:
+                    now = env.now
+                    mbufs = self.pool.get_bulk(count)
+                    for mbuf in mbufs:
+                        template = next(self._template_cycle)
+                        mbuf.packet = template.packet
+                        mbuf.wire_length = template.wire_length
+                        mbuf.userdata = template.flow_key
+                        mbuf.seq = next(self._seq)
+                        mbuf.ts_created = now
+                        mbuf.ts_injected = now
+                        if self.nic.wire_receive(mbuf):
+                            self.generated += 1
+                        else:
+                            self.nic_drops_seen += 1
+                interval = self._burst_interval(
+                    int(self.profile.mean_frame_size)
+                )
+                yield env.timeout(interval)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self.process.is_alive:
+            self.process.interrupt("stop")

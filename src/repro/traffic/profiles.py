@@ -1,0 +1,83 @@
+"""Traffic profiles: the packet templates a source cycles through.
+
+A template bundles a pre-built packet, its wire length and a
+pre-extracted flow key, so per-packet generation in a benchmark costs a
+couple of attribute writes instead of a parse.
+"""
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.packet.builder import make_tcp_packet, make_udp_packet
+from repro.packet.flowkey import FlowKey, extract_flow_key
+from repro.packet.packet import Packet
+
+
+@dataclass(frozen=True)
+class Template:
+    packet: Packet
+    wire_length: int
+    flow_key: FlowKey  # extracted at in_port=0; re-ported on first lookup
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """A weighted set of packet templates."""
+
+    name: str
+    templates: Tuple[Template, ...]
+
+    @property
+    def mean_frame_size(self) -> float:
+        return sum(t.wire_length for t in self.templates) / len(
+            self.templates
+        )
+
+
+def _template(packet: Packet) -> Template:
+    return Template(
+        packet=packet,
+        wire_length=packet.wire_length,
+        flow_key=extract_flow_key(packet, in_port=0),
+    )
+
+
+def uniform_profile(
+    frame_size: int = 64,
+    flows: int = 1,
+    name: str = "",
+    web: bool = False,
+) -> TrafficProfile:
+    """Fixed-size frames spread over ``flows`` distinct UDP (or TCP/80)
+    transport flows."""
+    templates: List[Template] = []
+    for flow in range(flows):
+        if web:
+            packet = make_tcp_packet(
+                src_port=40000 + flow, dst_port=80, frame_size=frame_size
+            )
+        else:
+            packet = make_udp_packet(
+                src_port=1000 + flow, dst_port=2000, frame_size=frame_size
+            )
+        templates.append(_template(packet))
+    return TrafficProfile(
+        name=name or "%dB x%d" % (frame_size, flows),
+        templates=tuple(templates),
+    )
+
+
+def imix_profile(flows_per_size: int = 1) -> TrafficProfile:
+    """The classic simple-IMIX mix: 64B x7, 570B x4, 1518B x1."""
+    templates: List[Template] = []
+    for frame_size, weight in ((64, 7), (570, 4), (1518, 1)):
+        for flow in range(flows_per_size):
+            packet = make_udp_packet(
+                src_port=1000 + flow, dst_port=3000 + frame_size,
+                frame_size=frame_size,
+            )
+            templates.extend([_template(packet)] * weight)
+    return TrafficProfile(name="imix", templates=tuple(templates))
+
+
+IMIX_PROFILE = imix_profile()

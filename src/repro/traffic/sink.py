@@ -1,0 +1,81 @@
+"""Traffic sinks: drain, count, measure latency, recycle mbufs."""
+
+from typing import Callable, Optional
+
+from repro.dpdk.ethdev import EthDev
+from repro.metrics.latency import LatencyRecorder
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.engine import Environment
+from repro.sim.nic import Nic
+from repro.sim.pollloop import PollLoop
+
+
+class SinkApp:
+    """In-VM traffic drain on one ethdev port."""
+
+    def __init__(
+        self,
+        name: str,
+        port: EthDev,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        burst_size: int = 32,
+        record_latency: bool = True,
+    ) -> None:
+        self.name = name
+        self.port = port
+        self.costs = costs
+        self.burst_size = burst_size
+        self.received = 0
+        self.received_bytes = 0
+        self.latency = LatencyRecorder() if record_latency else None
+        self.loop: Optional[PollLoop] = None
+        self._env: Optional[Environment] = None
+
+    def iteration(self) -> float:
+        mbufs = self.port.rx_burst(self.burst_size)
+        if not mbufs:
+            return 0.0
+        now = self._env.now if self._env is not None else 0.0
+        self.received += len(mbufs)
+        for mbuf in mbufs:
+            self.received_bytes += mbuf.wire_length
+            if self.latency is not None and mbuf.ts_injected >= 0:
+                self.latency.record(now - mbuf.ts_injected)
+            mbuf.free()
+        return (self.costs.burst_overhead
+                + len(mbufs) * self.costs.ring_op)
+
+    def start(self, env: Environment) -> PollLoop:
+        self._env = env
+        self.loop = PollLoop(env, self.name, self.iteration,
+                             costs=self.costs).start()
+        return self.loop
+
+    def stop(self) -> None:
+        if self.loop is not None:
+            self.loop.stop()
+            self.loop = None
+
+
+class WireSink:
+    """Counts frames leaving a NIC on the wire side."""
+
+    def __init__(self, env: Environment, nic: Nic,
+                 record_latency: bool = True,
+                 on_frame: Optional[Callable] = None) -> None:
+        self.env = env
+        self.nic = nic
+        self.received = 0
+        self.received_bytes = 0
+        self.latency = LatencyRecorder() if record_latency else None
+        self.on_frame = on_frame
+        nic.on_wire_tx = self._handle
+
+    def _handle(self, mbuf) -> None:
+        self.received += 1
+        self.received_bytes += mbuf.wire_length
+        if self.latency is not None and mbuf.ts_injected >= 0:
+            self.latency.record(self.env.now - mbuf.ts_injected)
+        if self.on_frame is not None:
+            self.on_frame(mbuf)
+        mbuf.free()

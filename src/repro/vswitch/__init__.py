@@ -1,0 +1,36 @@
+"""The Open vSwitch model: datapath, ports, bridge and daemon facade.
+
+Structure mirrors OVS-DPDK:
+
+* :mod:`repro.vswitch.ports` — switch-side port abstraction (dpdkr / phy);
+* :mod:`repro.vswitch.emc` — exact-match cache (first-level lookup);
+* :mod:`repro.vswitch.classifier` — tuple-space search classifier (dpcls);
+* :mod:`repro.vswitch.datapath` — the PMD fast path tying those together;
+* :mod:`repro.vswitch.bridge` — ofproto: OpenFlow handling + stats export;
+* :mod:`repro.vswitch.vswitchd` — the daemon: cores, ports, control loop.
+
+The paper's additions (p-2-p link detector, bypass manager, stats merge)
+live in :mod:`repro.core` and attach to these classes through explicit
+hooks — mirroring how the prototype patched OVS with localized changes.
+"""
+
+from repro.vswitch.bridge import Bridge
+from repro.vswitch.classifier import TupleSpaceClassifier
+from repro.vswitch.datapath import Datapath
+from repro.vswitch.emc import ExactMatchCache
+from repro.vswitch.mirror import Mirror
+from repro.vswitch.ports import DpdkrOvsPort, OvsPort, PhyOvsPort, PortKind
+from repro.vswitch.vswitchd import VSwitchd
+
+__all__ = [
+    "Bridge",
+    "Datapath",
+    "DpdkrOvsPort",
+    "ExactMatchCache",
+    "Mirror",
+    "OvsPort",
+    "PhyOvsPort",
+    "PortKind",
+    "TupleSpaceClassifier",
+    "VSwitchd",
+]

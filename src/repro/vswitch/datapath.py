@@ -1,0 +1,315 @@
+"""The OVS-DPDK fast path: per-PMD-core packet processing.
+
+One :class:`Datapath` instance is the forwarding engine of a bridge; its
+:meth:`process_ports` is the body of a PMD core's poll iteration.  For
+every received packet it runs EMC -> classifier -> (miss upcall), executes
+the matched actions, batches outputs per destination port, and returns the
+simulated CPU cost of the iteration — the quantity that makes the vSwitch
+a *shared* bottleneck for every chain hop in the paper's Figure 3.
+"""
+
+from typing import Callable, Dict, List, Optional
+
+from repro.openflow.actions import (
+    OutputAction,
+    PORT_CONTROLLER,
+    SetFieldAction,
+)
+from repro.openflow.table import FlowEntry, FlowTable
+from repro.packet.flowkey import cached_flow_key
+from repro.packet.headers import MacAddress
+from repro.packet.mbuf import Mbuf
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.vswitch.classifier import TupleSpaceClassifier
+from repro.vswitch.emc import ExactMatchCache
+from repro.vswitch.ports import OvsPort, PortKind
+
+# Called with (mbuf, in_port, reason) on table miss / controller action.
+UpcallHandler = Callable[[Mbuf, int, str], None]
+
+
+class Datapath:
+    """Forwarding engine: lookup structures + action execution."""
+
+    def __init__(
+        self,
+        table: FlowTable,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        clock: Optional[Callable[[], float]] = None,
+        upcall_handler: Optional[UpcallHandler] = None,
+        emc_enabled: bool = True,
+        burst_size: int = 32,
+    ) -> None:
+        self.table = table
+        self.costs = costs
+        self.clock = clock or (lambda: 0.0)
+        self.upcall_handler = upcall_handler
+        self.burst_size = burst_size
+        self.emc_enabled = emc_enabled
+        self.emc = ExactMatchCache()
+        self.classifier = TupleSpaceClassifier(table)
+        table.add_listener(self._on_table_change)
+        # Multi-table pipeline (OF1.3 goto_table): table 0 is the entry
+        # point; later tables are attached on demand by the bridge.
+        self.tables: Dict[int, FlowTable] = {0: table}
+        self.classifiers: Dict[int, TupleSpaceClassifier] = {
+            0: self.classifier
+        }
+        self.pipeline_drops = 0
+        self.ports: Dict[int, OvsPort] = {}
+        self.mirrors: List = []  # repro.vswitch.mirror.Mirror
+        self.policers: Dict[int, object] = {}  # ofport -> IngressPolicer
+        # Cumulative fast-path statistics.
+        self.emc_hits = 0
+        self.classifier_hits = 0
+        self.miss_upcalls = 0
+        self.packets_processed = 0
+        self.packets_mirrored = 0
+
+    def _on_table_change(self, kind: str, entry: FlowEntry) -> None:
+        self.emc.invalidate_all()
+
+    def attach_table(self, table_id: int, table: FlowTable) -> None:
+        """Register a later pipeline table (goto_table target)."""
+        if table_id in self.tables:
+            raise ValueError("table %d already attached" % table_id)
+        self.tables[table_id] = table
+        self.classifiers[table_id] = TupleSpaceClassifier(table)
+        table.add_listener(self._on_table_change)
+
+    # -- port management ----------------------------------------------------
+
+    def add_port(self, port: OvsPort) -> None:
+        if port.ofport in self.ports:
+            raise ValueError("ofport %d already in use" % port.ofport)
+        self.ports[port.ofport] = port
+
+    def remove_port(self, ofport: int) -> OvsPort:
+        try:
+            return self.ports.pop(ofport)
+        except KeyError:
+            raise ValueError("no port %d" % ofport) from None
+
+    def port(self, ofport: int) -> OvsPort:
+        return self.ports[ofport]
+
+    # -- lookup ------------------------------------------------------------------
+
+    def classify(self, mbuf: Mbuf, in_port: int
+                 ) -> "tuple[Optional[tuple], float]":
+        """Resolve one packet through the pipeline.
+
+        Returns ``(traversal, cpu cost)`` where traversal is the tuple
+        of flow entries matched in pipeline order, or None on a table-0
+        miss (upcall).  A miss in a later table, a goto to a missing
+        table or a non-increasing goto all terminate the pipeline as an
+        OF1.3 drop (the traversal so far is returned; its combined
+        actions produce no output).
+        """
+        from repro.openflow.actions import goto_table_of
+
+        key = cached_flow_key(mbuf, in_port)
+        if self.emc_enabled:
+            traversal = self.emc.lookup(key)
+            if traversal is not None:
+                self.emc_hits += 1
+                return traversal, self.costs.ovs_emc_hit
+        entries = []
+        table_id = 0
+        cost = 0.0
+        while True:
+            entry = self.classifiers[table_id].lookup(key)
+            cost += self.costs.ovs_classifier_hit
+            if entry is None:
+                if table_id == 0:
+                    self.miss_upcalls += 1
+                    return None, self.costs.ovs_miss_upcall
+                self.pipeline_drops += 1
+                break
+            entries.append(entry)
+            goto = goto_table_of(entry.actions)
+            if goto is None:
+                break
+            if (goto.table_id <= table_id
+                    or goto.table_id not in self.classifiers):
+                self.pipeline_drops += 1
+                break
+            table_id = goto.table_id
+        self.classifier_hits += 1
+        traversal = tuple(entries)
+        if self.emc_enabled:
+            self.emc.insert(key, traversal)
+        return traversal, cost
+
+    # -- action execution -----------------------------------------------------------
+
+    @staticmethod
+    def _apply_set_field(mbuf: Mbuf, field: str, value: int) -> None:
+        """Rewrite a header field on the packet carried by ``mbuf``.
+
+        Assumes per-mbuf packet objects (functional paths); benchmark
+        workloads that share a template never install set-field rules.
+        """
+        from repro.packet.headers import Ethernet, IPv4, Tcp, Udp, Vlan
+
+        packet = mbuf.packet
+        if field in ("eth_src", "eth_dst"):
+            eth = packet.get(Ethernet)
+            if eth is not None:
+                setattr(eth, field[4:], MacAddress(value))
+        elif field in ("ip_src", "ip_dst", "ip_tos"):
+            ipv4 = packet.get(IPv4)
+            if ipv4 is not None:
+                setattr(ipv4, field[3:] if field != "ip_tos" else "tos",
+                        value)
+        elif field in ("l4_src", "l4_dst"):
+            l4 = packet.get(Tcp) or packet.get(Udp)
+            if l4 is not None:
+                setattr(l4, "src_port" if field == "l4_src" else "dst_port",
+                        value)
+        elif field == "vlan_vid":
+            vlan = packet.get(Vlan)
+            if vlan is not None:
+                vlan.vid = value
+        mbuf.userdata = None  # cached flow key is stale now
+
+    def execute_actions(
+        self,
+        entry_actions,
+        mbuf: Mbuf,
+        in_port: int,
+        output_batches: Dict[int, List[Mbuf]],
+    ) -> None:
+        """Run an action list; packets to forward land in output_batches.
+
+        The mbuf reference is consumed: it is either batched for output,
+        handed to the upcall handler, or freed (drop / unknown port).
+        """
+        consumed = False
+        for action in entry_actions:
+            if isinstance(action, SetFieldAction):
+                self._apply_set_field(mbuf, action.field, action.value)
+            elif isinstance(action, OutputAction):
+                if action.port == PORT_CONTROLLER:
+                    if self.upcall_handler is not None:
+                        self.upcall_handler(mbuf, in_port, "action")
+                    consumed = True
+                elif action.port in self.ports:
+                    # Multiple outputs clone by reference counting.
+                    target = mbuf if not consumed else mbuf.retain()
+                    output_batches.setdefault(action.port, []).append(target)
+                    consumed = True
+                else:
+                    pass  # output to unknown port: ignore (counted as drop)
+        if not consumed:
+            mbuf.free()  # empty action list = OpenFlow drop
+
+    # -- the poll iteration body --------------------------------------------------------
+
+    def process_port(self, port: OvsPort,
+                     output_batches: Dict[int, List[Mbuf]]) -> "tuple[float, int]":
+        """Poll one port; returns (cpu cost, packets processed)."""
+        if not port.up:
+            return 0.0, 0  # administratively down: leave the ring alone
+        mbufs = port.receive_burst(self.burst_size)
+        if not mbufs:
+            return 0.0, 0
+        policer = self.policers.get(port.ofport)
+        if policer is not None:
+            mbufs = policer.filter_burst(mbufs)
+            if not mbufs:
+                return self.costs.burst_overhead, 0
+        costs = self.costs
+        rx_cost = (costs.nic_pmd_rx if port.kind == PortKind.PHY
+                   else costs.ring_op)
+        total_cost = costs.burst_overhead + rx_cost * len(mbufs)
+        now = self.clock()
+        # Ingress mirroring: clone before the actions can consume the
+        # packet.
+        for mirror in self.mirrors:
+            if port.ofport in mirror.select_src:
+                for mbuf in mbufs:
+                    output_batches.setdefault(mirror.output, []).append(
+                        mbuf.retain()
+                    )
+                self.packets_mirrored += len(mbufs)
+                total_cost += costs.ring_op * len(mbufs)
+        from repro.openflow.actions import GotoTableAction
+
+        for mbuf in mbufs:
+            traversal, lookup_cost = self.classify(mbuf, port.ofport)
+            total_cost += lookup_cost
+            if traversal is None:
+                if self.upcall_handler is not None:
+                    self.upcall_handler(mbuf, port.ofport, "no_match")
+                else:
+                    mbuf.free()
+                continue
+            combined = []
+            for entry in traversal:
+                entry.account(1, mbuf.wire_length, now)
+                combined.extend(
+                    action for action in entry.actions
+                    if not isinstance(action, GotoTableAction)
+                )
+            self.execute_actions(combined, mbuf, port.ofport,
+                                 output_batches)
+        self.packets_processed += len(mbufs)
+        return total_cost, len(mbufs)
+
+    def flush_outputs(self, output_batches: Dict[int, List[Mbuf]]) -> float:
+        """Send batched outputs; returns the cpu cost of the TX work."""
+        costs = self.costs
+        total_cost = 0.0
+        # Egress mirroring: one level only (clones are never re-mirrored).
+        if self.mirrors:
+            extra: Dict[int, List[Mbuf]] = {}
+            for mirror in self.mirrors:
+                for ofport in mirror.select_dst:
+                    mbufs = output_batches.get(ofport)
+                    if not mbufs:
+                        continue
+                    extra.setdefault(mirror.output, []).extend(
+                        mbuf.retain() for mbuf in mbufs
+                    )
+                    self.packets_mirrored += len(mbufs)
+                    total_cost += costs.ring_op * len(mbufs)
+            for ofport, mbufs in extra.items():
+                output_batches.setdefault(ofport, []).extend(mbufs)
+        for ofport, mbufs in output_batches.items():
+            port = self.ports.get(ofport)
+            if port is None:
+                for mbuf in mbufs:
+                    mbuf.free()
+                continue
+            if not port.up:
+                for mbuf in mbufs:
+                    port.tx_dropped += 1
+                    mbuf.free()
+                continue
+            tx_cost = (costs.nic_pmd_tx if port.kind == PortKind.PHY
+                       else costs.ring_op)
+            total_cost += tx_cost * len(mbufs)
+            port.send_burst(mbufs)
+        output_batches.clear()
+        return total_cost
+
+    def process_ports(self, ports: List[OvsPort]) -> float:
+        """One full PMD iteration over ``ports``; returns total cpu cost."""
+        output_batches: Dict[int, List[Mbuf]] = {}
+        total_cost = 0.0
+        for port in ports:
+            cost, _count = self.process_port(port, output_batches)
+            total_cost += cost
+        total_cost += self.flush_outputs(output_batches)
+        return total_cost
+
+    # -- direct injection (packet-out, test harnesses) ---------------------------------
+
+    def inject(self, mbuf: Mbuf, actions) -> None:
+        """Execute ``actions`` on a packet outside the polling fast path
+        (the bridge uses this for controller packet-out messages)."""
+        output_batches: Dict[int, List[Mbuf]] = {}
+        self.execute_actions(actions, mbuf, in_port=PORT_CONTROLLER,
+                             output_batches=output_batches)
+        self.flush_outputs(output_batches)

@@ -1,0 +1,80 @@
+"""The exact-match cache (EMC): OVS-DPDK's first-level lookup.
+
+Maps full flow keys straight to flow entries, skipping the classifier.
+Entries are validated against a table *generation* counter: any flow-table
+change bumps the generation, instantly invalidating the whole cache —
+equivalent in behaviour (though cruder than) OVS's revalidator threads,
+and sufficient because correctness only requires that no stale rule ever
+forwards a packet after a flowmod.
+"""
+
+from typing import Dict, Optional, Tuple
+
+from repro.openflow.table import FlowEntry
+from repro.packet.flowkey import FlowKey
+
+
+class ExactMatchCache:
+    """Bounded FlowKey -> FlowEntry cache with generation invalidation."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity <= 0:
+            raise ValueError("EMC capacity must be positive")
+        self.capacity = capacity
+        self.generation = 0
+        self._entries: Dict[FlowKey, Tuple[int, FlowEntry]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stale_hits = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def lookup(self, key: FlowKey) -> Optional[FlowEntry]:
+        """Return the cached entry for ``key`` or None.
+
+        A hit from a previous table generation counts as a miss (and is
+        removed) — the caller must fall back to the classifier.
+        """
+        cached = self._entries.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        generation, entry = cached
+        if generation != self.generation:
+            del self._entries[key]
+            self.stale_hits += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def insert(self, key: FlowKey, entry: FlowEntry) -> None:
+        """Cache ``key -> entry`` at the current generation."""
+        if len(self._entries) >= self.capacity and key not in self._entries:
+            # Evict the oldest insertion (dict preserves insertion order).
+            evicted = next(iter(self._entries))
+            del self._entries[evicted]
+            self.evictions += 1
+        self._entries[key] = (self.generation, entry)
+        self.insertions += 1
+
+    def invalidate_all(self) -> None:
+        """Invalidate every cached entry (flow-table change)."""
+        self.generation += 1
+
+    def flush(self) -> None:
+        """Drop storage as well (used when memory accounting matters)."""
+        self._entries.clear()
+        self.generation += 1
+
+    def __len__(self) -> int:
+        # Live entries only: stale ones are lazily collected on lookup.
+        return sum(
+            1 for generation, _entry in self._entries.values()
+            if generation == self.generation
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

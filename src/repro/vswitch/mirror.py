@@ -1,0 +1,38 @@
+"""Port mirroring (SPAN): clone selected traffic to an observer port.
+
+Standard OVS feature (``ovs-vsctl -- --id=@m create mirror ...``): every
+packet received from a ``select_src`` port and/or sent to a
+``select_dst`` port is also delivered to the mirror's ``output`` port.
+
+Mirroring interacts with the transparent highway in an important way:
+the vSwitch can only mirror what it forwards, so a bypassed link would
+silently blind any mirror watching its ports.  The detector therefore
+treats mirrored ports as ineligible for p-2-p acceleration, and adding
+a mirror over an active bypass revokes it — correctness (the operator
+asked to see the traffic) beats acceleration.
+"""
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Set
+
+
+@dataclass(frozen=True)
+class Mirror:
+    """One mirror definition."""
+
+    name: str
+    output: int                      # ofport receiving the clones
+    select_src: FrozenSet[int] = frozenset()  # mirror packets from these
+    select_dst: FrozenSet[int] = frozenset()  # mirror packets to these
+
+    def __post_init__(self) -> None:
+        if not self.select_src and not self.select_dst:
+            raise ValueError("mirror %r selects nothing" % self.name)
+        if self.output in self.select_src | self.select_dst:
+            raise ValueError(
+                "mirror %r outputs to a selected port" % self.name
+            )
+
+    @property
+    def selected_ports(self) -> Set[int]:
+        return set(self.select_src) | set(self.select_dst)

@@ -1,0 +1,263 @@
+"""vswitchd: the daemon facade tying bridge, datapath and PMD cores.
+
+This is the deployment surface: create a :class:`VSwitchd`, add dpdkr /
+phy ports (ovs-vsctl style), connect a controller, and — when running
+inside a simulation — ``start()`` the PMD poll loops and the control
+loop.  The number of PMD cores is the paper's key structural constant:
+the demo testbed ran OVS-DPDK with a single PMD core that every
+VM-to-VM hop had to share.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.dpdk.dpdkr import DpdkrSharedRings
+from repro.mem.memzone import MemzoneRegistry
+from repro.openflow.controller import ControllerConnection
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.engine import Environment
+from repro.sim.nic import Nic
+from repro.sim.pollloop import PollLoop
+from repro.vswitch.bridge import Bridge
+from repro.vswitch.ports import DpdkrOvsPort, OvsPort, PhyOvsPort
+
+
+class VSwitchd:
+    """One vSwitch instance on a host."""
+
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        registry: Optional[MemzoneRegistry] = None,
+        connection: Optional[ControllerConnection] = None,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        n_pmd_cores: int = 1,
+        control_interval: float = 0.0005,
+        name: str = "ovs",
+    ) -> None:
+        if n_pmd_cores < 1:
+            raise ValueError("need at least one PMD core")
+        self.env = env
+        self.registry = registry if registry is not None else MemzoneRegistry()
+        self.costs = costs
+        self.name = name
+        self.n_pmd_cores = n_pmd_cores
+        self.control_interval = control_interval
+        clock = (lambda: env.now) if env is not None else None
+        self.bridge = Bridge(
+            name="br0", connection=connection, costs=costs, clock=clock
+        )
+        self.datapath = self.bridge.datapath
+        self._next_ofport = 1
+        self._core_ports: List[List[OvsPort]] = [
+            [] for _ in range(n_pmd_cores)
+        ]
+        self._pmd_loops: List[PollLoop] = []
+        self._control_loop = None
+        self._running = False
+        # Called with the Mirror after add/remove; the transparent
+        # highway subscribes to revoke bypasses on mirrored ports.
+        self.on_mirror_change: List = []
+
+    # -- port management (ovs-vsctl add-port) ---------------------------------
+
+    def _allocate_ofport(self, ofport: Optional[int]) -> int:
+        if ofport is None:
+            ofport = self._next_ofport
+        self._next_ofport = max(self._next_ofport, ofport + 1)
+        return ofport
+
+    def add_dpdkr_port(
+        self,
+        port_name: str,
+        ofport: Optional[int] = None,
+        ring_size: int = 1024,
+    ) -> DpdkrOvsPort:
+        """Create a dpdkr port: reserves its memzone + shared rings."""
+        rings = DpdkrSharedRings(self.registry, port_name,
+                                 ring_size=ring_size)
+        port = DpdkrOvsPort(self._allocate_ofport(ofport), rings)
+        self._register(port)
+        return port
+
+    def add_phy_port(self, port_name: str, nic: Nic,
+                     ofport: Optional[int] = None) -> PhyOvsPort:
+        port = PhyOvsPort(self._allocate_ofport(ofport), port_name, nic)
+        self._register(port)
+        return port
+
+    def _register(self, port: OvsPort) -> None:
+        self.datapath.add_port(port)
+        core_index = port.ofport % self.n_pmd_cores
+        self._core_ports[core_index].append(port)
+
+    def del_port(self, ofport: int) -> OvsPort:
+        port = self.datapath.remove_port(ofport)
+        for core in self._core_ports:
+            if port in core:
+                core.remove(port)
+        return port
+
+    def port_by_name(self, port_name: str) -> OvsPort:
+        for port in self.datapath.ports.values():
+            if port.name == port_name:
+                return port
+        raise KeyError("no port named %r" % port_name)
+
+    # -- mirrors (ovs-vsctl create mirror) ------------------------------------
+
+    def add_mirror(self, name: str, output: str,
+                   select_src: Optional[List[str]] = None,
+                   select_dst: Optional[List[str]] = None):
+        """Mirror traffic of the named ports to the ``output`` port."""
+        from repro.vswitch.mirror import Mirror
+
+        if any(m.name == name for m in self.datapath.mirrors):
+            raise ValueError("mirror %r already exists" % name)
+        mirror = Mirror(
+            name=name,
+            output=self.port_by_name(output).ofport,
+            select_src=frozenset(
+                self.port_by_name(p).ofport for p in select_src or []
+            ),
+            select_dst=frozenset(
+                self.port_by_name(p).ofport for p in select_dst or []
+            ),
+        )
+        self.datapath.mirrors.append(mirror)
+        for listener in self.on_mirror_change:
+            listener(mirror)
+        return mirror
+
+    def remove_mirror(self, name: str) -> None:
+        for mirror in list(self.datapath.mirrors):
+            if mirror.name == name:
+                self.datapath.mirrors.remove(mirror)
+                for listener in self.on_mirror_change:
+                    listener(mirror)
+                return
+        raise ValueError("no mirror named %r" % name)
+
+    # -- ingress policing (ovs-vsctl ingress_policing_rate) --------------------
+
+    def set_ingress_policing(self, port_name: str, rate_pps: float,
+                             burst: Optional[float] = None):
+        """Rate-limit packets received from ``port_name``.
+
+        ``rate_pps <= 0`` removes the policer.  Notifies the same
+        listeners as mirror changes (bypass eligibility is affected the
+        same way).
+        """
+        from repro.vswitch.policer import IngressPolicer
+
+        port = self.port_by_name(port_name)
+        clock = (lambda: self.env.now) if self.env is not None \
+            else (lambda: 0.0)
+        if rate_pps <= 0:
+            removed = self.datapath.policers.pop(port.ofport, None)
+            if removed is not None:
+                for listener in self.on_mirror_change:
+                    listener(removed)
+            return None
+        policer = IngressPolicer(
+            port.ofport, rate_pps,
+            burst=burst if burst is not None else max(32.0, rate_pps / 100),
+            clock=clock,
+        )
+        self.datapath.policers[port.ofport] = policer
+        for listener in self.on_mirror_change:
+            listener(policer)
+        return policer
+
+    def policed_ports(self) -> set:
+        return set(self.datapath.policers)
+
+    def mirrored_ports(self) -> set:
+        """Ofports whose traffic some mirror wants to observe."""
+        selected = set()
+        for mirror in self.datapath.mirrors:
+            selected |= mirror.selected_ports
+        return selected
+
+    # -- synchronous stepping (unit tests, env-less use) -------------------------
+
+    def step_dataplane(self) -> float:
+        """Run one PMD iteration on every core; returns total cpu cost."""
+        return sum(
+            self.datapath.process_ports(core_ports)
+            for core_ports in self._core_ports
+        )
+
+    def step_control(self) -> int:
+        """Process pending controller messages + flow expirations."""
+        handled = self.bridge.pump()
+        now = self.env.now if self.env is not None else 0.0
+        self.bridge.expire_flows(now)
+        return handled
+
+    # -- simulation lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Start PMD poll loops and the control loop (needs an env)."""
+        if self.env is None:
+            raise RuntimeError("VSwitchd.start() requires an Environment")
+        if self._running:
+            raise RuntimeError("vswitchd already running")
+        self._running = True
+        for core_index in range(self.n_pmd_cores):
+            core_ports = self._core_ports[core_index]
+            loop = PollLoop(
+                self.env,
+                "%s.pmd%d" % (self.name, core_index),
+                self._make_pmd_iteration(core_ports),
+                costs=self.costs,
+            ).start()
+            self._pmd_loops.append(loop)
+        self._control_loop = self.env.process(
+            self._control_process(), name="%s.control" % self.name
+        )
+
+    def _make_pmd_iteration(self, core_ports: List[OvsPort]):
+        datapath = self.datapath
+
+        def iteration() -> float:
+            return datapath.process_ports(core_ports)
+
+        return iteration
+
+    def _control_process(self):
+        env = self.env
+        while self._running:
+            handled = self.bridge.pump()
+            self.bridge.expire_flows(env.now)
+            delay = self.control_interval
+            if handled:
+                delay += handled * self.costs.flowmod_processing
+            yield env.timeout(delay)
+
+    def stop(self) -> None:
+        self._running = False
+        for loop in self._pmd_loops:
+            loop.stop()
+        self._pmd_loops = []
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def pmd_utilization(self) -> List[float]:
+        return [loop.utilization for loop in self._pmd_loops]
+
+    def reset_pmd_accounting(self) -> None:
+        """Zero PMD busy/idle counters at a measurement-window start."""
+        for loop in self._pmd_loops:
+            loop.reset_accounting()
+
+    def core_assignment(self) -> Dict[int, List[str]]:
+        return {
+            core_index: [port.name for port in ports]
+            for core_index, ports in enumerate(self._core_ports)
+        }
+
+    def __repr__(self) -> str:
+        return "<VSwitchd %s ports=%d cores=%d>" % (
+            self.name, len(self.datapath.ports), self.n_pmd_cores
+        )

@@ -1,0 +1,210 @@
+"""Unit tests for the p-2-p link detector's flow-table analysis."""
+
+import pytest
+
+from repro.core.detector import P2PLink, P2PLinkDetector
+from repro.openflow.actions import (
+    ControllerAction,
+    OutputAction,
+    SetFieldAction,
+)
+from repro.openflow.match import Match
+from repro.openflow.table import FlowEntry, FlowTable
+from repro.packet.headers import ETH_TYPE_IPV4, IP_PROTO_TCP
+
+
+@pytest.fixture
+def table():
+    return FlowTable()
+
+
+@pytest.fixture
+def detector(table):
+    return P2PLinkDetector(table)
+
+
+def add(table, match, actions, priority=0x8000, **kwargs):
+    entry = FlowEntry(match, actions, priority=priority, **kwargs)
+    table.add(entry)
+    return entry
+
+
+class TestBasicDetection:
+    def test_total_rule_creates_link(self, table, detector):
+        events = []
+        detector.on_created.append(events.append)
+        entry = add(table, Match(in_port=1), [OutputAction(2)])
+        assert events == [P2PLink(1, 2, entry.flow_id)]
+        assert detector.link_for(1) == events[0]
+
+    def test_no_rule_no_link(self, detector):
+        assert detector.analyze_port(1) is None
+
+    def test_narrow_rule_is_not_total(self, table, detector):
+        add(table, Match(in_port=1, eth_type=ETH_TYPE_IPV4),
+            [OutputAction(2)])
+        assert detector.link_for(1) is None
+
+    def test_wildcard_rule_is_not_total(self, table, detector):
+        add(table, Match(), [OutputAction(2)])
+        assert detector.links == {}
+
+    def test_self_loop_rejected(self, table, detector):
+        add(table, Match(in_port=1), [OutputAction(1)])
+        assert detector.link_for(1) is None
+
+    def test_drop_rule_no_link(self, table, detector):
+        add(table, Match(in_port=1), [])
+        assert detector.link_for(1) is None
+
+    def test_controller_action_no_link(self, table, detector):
+        add(table, Match(in_port=1), [ControllerAction()])
+        assert detector.link_for(1) is None
+
+    def test_multi_output_no_link(self, table, detector):
+        add(table, Match(in_port=1), [OutputAction(2), OutputAction(3)])
+        assert detector.link_for(1) is None
+
+    def test_set_field_disqualifies(self, table, detector):
+        add(table, Match(in_port=1),
+            [SetFieldAction("eth_dst", 5), OutputAction(2)])
+        assert detector.link_for(1) is None
+
+    def test_bidirectional_links_are_independent(self, table, detector):
+        add(table, Match(in_port=1), [OutputAction(2)])
+        add(table, Match(in_port=2), [OutputAction(1)])
+        assert detector.link_for(1).dst_ofport == 2
+        assert detector.link_for(2).dst_ofport == 1
+
+
+class TestShadowingAndOverrides:
+    def test_higher_priority_divert_blocks_link(self, table, detector):
+        add(table, Match(in_port=1), [OutputAction(2)], priority=10)
+        assert detector.link_for(1) is not None
+        # A higher-priority rule steering web traffic elsewhere kills it.
+        add(table, Match(in_port=1, eth_type=ETH_TYPE_IPV4,
+                         ip_proto=IP_PROTO_TCP, l4_dst=80),
+            [OutputAction(3)], priority=20)
+        assert detector.link_for(1) is None
+
+    def test_higher_priority_same_destination_keeps_link(self, table,
+                                                         detector):
+        add(table, Match(in_port=1), [OutputAction(2)], priority=10)
+        add(table, Match(in_port=1, eth_type=ETH_TYPE_IPV4),
+            [OutputAction(2)], priority=20)
+        link = detector.link_for(1)
+        assert link is not None and link.dst_ofport == 2
+
+    def test_higher_priority_controller_copy_blocks_link(self, table,
+                                                         detector):
+        add(table, Match(in_port=1), [OutputAction(2)], priority=10)
+        add(table, Match(in_port=1, eth_type=ETH_TYPE_IPV4),
+            [OutputAction(2), ControllerAction()], priority=20)
+        assert detector.link_for(1) is None
+
+    def test_lower_priority_rule_is_shadowed(self, table, detector):
+        add(table, Match(in_port=1), [OutputAction(2)], priority=10)
+        add(table, Match(in_port=1, eth_type=ETH_TYPE_IPV4),
+            [OutputAction(3)], priority=5)
+        link = detector.link_for(1)
+        assert link is not None and link.dst_ofport == 2
+
+    def test_other_ports_rules_are_irrelevant(self, table, detector):
+        add(table, Match(in_port=1), [OutputAction(2)], priority=10)
+        add(table, Match(in_port=3), [OutputAction(4)], priority=99)
+        assert detector.link_for(1) is not None
+
+    def test_wildcard_in_port_higher_priority_blocks(self, table, detector):
+        add(table, Match(in_port=1), [OutputAction(2)], priority=10)
+        add(table, Match(eth_type=ETH_TYPE_IPV4), [OutputAction(9)],
+            priority=50)
+        assert detector.link_for(1) is None
+
+    def test_equal_priority_earlier_diverting_rule_blocks(self, table,
+                                                          detector):
+        # FIFO tie-break: the earlier rule wins overlapping packets.
+        add(table, Match(eth_type=ETH_TYPE_IPV4), [OutputAction(9)],
+            priority=10)
+        add(table, Match(in_port=1), [OutputAction(2)], priority=10)
+        assert detector.link_for(1) is None
+
+    def test_equal_priority_later_rule_is_shadowed(self, table, detector):
+        add(table, Match(in_port=1), [OutputAction(2)], priority=10)
+        add(table, Match(eth_type=ETH_TYPE_IPV4), [OutputAction(9)],
+            priority=10)
+        link = detector.link_for(1)
+        assert link is not None and link.dst_ofport == 2
+
+
+class TestDynamics:
+    def test_delete_removes_link(self, table, detector):
+        removed = []
+        detector.on_removed.append(removed.append)
+        add(table, Match(in_port=1), [OutputAction(2)])
+        table.delete(Match(in_port=1))
+        assert len(removed) == 1
+        assert detector.links == {}
+
+    def test_modify_to_different_port_moves_link(self, table, detector):
+        created, removed = [], []
+        detector.on_created.append(created.append)
+        detector.on_removed.append(removed.append)
+        add(table, Match(in_port=1), [OutputAction(2)])
+        table.modify(Match(in_port=1), [OutputAction(3)])
+        assert removed[-1].dst_ofport == 2
+        assert created[-1].dst_ofport == 3
+        assert detector.link_for(1).dst_ofport == 3
+
+    def test_modify_to_drop_removes_link(self, table, detector):
+        add(table, Match(in_port=1), [OutputAction(2)])
+        table.modify(Match(in_port=1), [])
+        assert detector.links == {}
+
+    def test_divert_then_restore(self, table, detector):
+        add(table, Match(in_port=1), [OutputAction(2)], priority=10)
+        divert = add(table, Match(in_port=1, eth_type=ETH_TYPE_IPV4),
+                     [OutputAction(3)], priority=20)
+        assert detector.links == {}
+        table.delete(divert.match, strict=True, priority=20)
+        assert detector.link_for(1) is not None
+
+    def test_no_spurious_events_on_unrelated_change(self, table, detector):
+        events = []
+        add(table, Match(in_port=1), [OutputAction(2)])
+        detector.on_created.append(events.append)
+        detector.on_removed.append(events.append)
+        add(table, Match(in_port=5), [OutputAction(6), OutputAction(7)])
+        assert events == []  # port 5 never had/gained a link; port 1 kept
+
+    def test_replace_rule_reissues_link(self, table, detector):
+        created, removed = [], []
+        first = add(table, Match(in_port=1), [OutputAction(2)], priority=5)
+        detector.on_created.append(created.append)
+        detector.on_removed.append(removed.append)
+        second = add(table, Match(in_port=1), [OutputAction(2)], priority=5)
+        # Same endpoints but a new rule identity: stats attribution moves.
+        assert removed[0].flow_id == first.flow_id
+        assert created[0].flow_id == second.flow_id
+
+    def test_refresh_all(self, table):
+        add(table, Match(in_port=1), [OutputAction(2)])
+        detector = P2PLinkDetector.__new__(P2PLinkDetector)
+        # Simulate attaching late: normal constructor + refresh covers it.
+        detector = P2PLinkDetector(table)
+        assert detector.links == {}  # constructor does not auto-scan
+        detector.refresh_all()
+        assert detector.link_for(1) is not None
+
+
+class TestEligibility:
+    def test_ineligible_source(self, table):
+        detector = P2PLinkDetector(table,
+                                   is_eligible_port=lambda p: p != 1)
+        add(table, Match(in_port=1), [OutputAction(2)])
+        assert detector.links == {}
+
+    def test_ineligible_destination(self, table):
+        detector = P2PLinkDetector(table,
+                                   is_eligible_port=lambda p: p != 2)
+        add(table, Match(in_port=1), [OutputAction(2)])
+        assert detector.links == {}

@@ -1,0 +1,267 @@
+"""Unit tests for the dual-channel PMD and the guest PMD manager."""
+
+import pytest
+
+from repro.core.pmd import DualChannelPmd, GuestPmdManager
+from repro.core.stats import BypassStatsBlock
+from repro.dpdk.dpdkr import DpdkrSharedRings, dpdkr_zone_name
+from repro.dpdk.virtio_serial import ControlMessage
+from repro.hypervisor.qemu import Hypervisor
+from repro.mem.memzone import MemzoneRegistry
+from repro.mem.ring import Ring
+
+from tests.helpers import mk_mbuf
+
+
+@pytest.fixture
+def registry():
+    return MemzoneRegistry()
+
+
+@pytest.fixture
+def pmd(registry):
+    rings = DpdkrSharedRings(registry, "dpdkr0")
+    return DualChannelPmd(0, rings)
+
+
+@pytest.fixture
+def bypass_ring():
+    return Ring("bypass", 64)
+
+
+@pytest.fixture
+def stats_block():
+    return BypassStatsBlock("bypass", 1, 2)
+
+
+class TestNormalChannel:
+    def test_tx_goes_to_switch(self, pmd):
+        mbuf = mk_mbuf()
+        assert pmd.tx_burst([mbuf]) == 1
+        assert pmd.rings.to_switch.dequeue() is mbuf
+        assert pmd.tx_via_normal == 1
+
+    def test_rx_from_switch(self, pmd):
+        mbuf = mk_mbuf()
+        pmd.rings.to_guest.enqueue(mbuf)
+        assert pmd.rx_burst(32) == [mbuf]
+        assert pmd.rx_via_normal == 1
+        assert pmd.stats.ipackets == 1
+
+
+class TestBypassTx:
+    def test_tx_prefers_bypass(self, pmd, bypass_ring, stats_block):
+        pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=7)
+        mbuf = mk_mbuf(frame_size=64)
+        assert pmd.tx_burst([mbuf]) == 1
+        assert bypass_ring.dequeue() is mbuf
+        assert pmd.rings.to_switch.is_empty
+        assert pmd.tx_via_bypass == 1
+
+    def test_bypass_tx_updates_shared_stats(self, pmd, bypass_ring,
+                                            stats_block):
+        pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=7)
+        pmd.tx_burst([mk_mbuf(frame_size=64), mk_mbuf(frame_size=64)])
+        assert stats_block.tx_packets == 2
+        assert stats_block.tx_bytes == 128
+        assert stats_block.flow_counters(7) == (2, 128)
+        assert stats_block.flow_counters(99) == (0, 0)
+
+    def test_detach_restores_normal_path(self, pmd, bypass_ring,
+                                         stats_block):
+        pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=7)
+        pmd.detach_bypass_tx()
+        mbuf = mk_mbuf()
+        pmd.tx_burst([mbuf])
+        assert pmd.rings.to_switch.dequeue() is mbuf
+        assert bypass_ring.is_empty
+
+    def test_double_attach_rejected(self, pmd, bypass_ring, stats_block):
+        pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=7)
+        with pytest.raises(RuntimeError):
+            pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=8)
+
+    def test_detach_without_attach_rejected(self, pmd):
+        with pytest.raises(RuntimeError):
+            pmd.detach_bypass_tx()
+
+    def test_congestion_events_above_watermark(self, pmd, stats_block):
+        from repro.mem.ring import Ring
+
+        ring = Ring("wm", 16, watermark=8)
+        pmd.attach_bypass_tx(ring, stats_block, flow_id=1)
+        pmd.tx_burst([mk_mbuf() for _ in range(4)])
+        assert pmd.bypass_congestion_events == 0
+        pmd.tx_burst([mk_mbuf() for _ in range(6)])  # occupancy 10 >= 8
+        assert pmd.bypass_congestion_events == 1
+
+    def test_bypass_full_counts_oerrors(self, pmd, stats_block):
+        tiny = Ring("tiny", 4)
+        pmd.attach_bypass_tx(tiny, stats_block, flow_id=7)
+        mbufs = [mk_mbuf() for _ in range(5)]
+        assert pmd.tx_burst(mbufs) == 3
+        assert pmd.stats.oerrors == 2
+
+
+class TestTxStateMachine:
+    def test_pending_until_normal_ring_drains(self, pmd, bypass_ring,
+                                              stats_block):
+        from repro.core.pmd import TxState
+
+        # Packets already queued toward the vSwitch gate the flip.
+        stuck = mk_mbuf()
+        pmd.tx_burst([stuck])
+        pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=1)
+        assert pmd.tx_state == TxState.PENDING_BYPASS
+        follow_up = mk_mbuf()
+        pmd.tx_burst([follow_up])
+        # Still via normal (in order, behind `stuck`).
+        assert pmd.tx_state == TxState.PENDING_BYPASS
+        assert pmd.rings.to_switch.dequeue_burst(8) == [stuck, follow_up]
+        # Ring drained: the next burst flips to the bypass.
+        final = mk_mbuf()
+        pmd.tx_burst([final])
+        assert pmd.tx_state == TxState.BYPASS
+        assert bypass_ring.dequeue() is final
+
+    def test_stall_and_resume(self, pmd, bypass_ring, stats_block):
+        from repro.core.pmd import TxState
+
+        pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=1)
+        pmd.tx_burst([mk_mbuf()])  # flips to BYPASS
+        pmd.detach_bypass_tx(stall=True)
+        assert pmd.tx_state == TxState.STALLED
+        refused = mk_mbuf()
+        assert pmd.tx_burst([refused]) == 0
+        assert pmd.tx_stall_rejects == 1
+        pmd.resume_tx()
+        delivered = mk_mbuf()
+        assert pmd.tx_burst([delivered]) == 1
+        assert pmd.rings.to_switch.dequeue() is delivered
+
+    def test_resume_is_noop_when_normal(self, pmd):
+        pmd.resume_tx()  # no-op: the naive-handover compatibility path
+        from repro.core.pmd import TxState
+
+        assert pmd.tx_state == TxState.NORMAL
+
+    def test_resume_rejected_mid_bypass(self, pmd, bypass_ring,
+                                        stats_block):
+        pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=1)
+        with pytest.raises(RuntimeError):
+            pmd.resume_tx()
+
+    def test_no_stats_cost_while_pending(self, pmd, bypass_ring,
+                                         stats_block):
+        pmd.tx_burst([mk_mbuf()])  # leaves the normal ring non-empty
+        pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=1)
+        assert pmd.tx_extra_cost == 0.0
+        pmd.rings.to_switch.drain()
+        pmd.tx_burst([mk_mbuf()])
+        assert pmd.tx_extra_cost > 0.0
+
+
+class TestBypassRx:
+    def test_rx_merges_normal_first_then_bypass(self, pmd, bypass_ring):
+        # Normal channel has priority: its packets predate anything on a
+        # bypass ring during a handover (ordered-handover protocol).
+        pmd.attach_bypass_rx(bypass_ring)
+        direct = mk_mbuf()
+        via_switch = mk_mbuf()
+        bypass_ring.enqueue(direct)
+        pmd.rings.to_guest.enqueue(via_switch)
+        received = pmd.rx_burst(32)
+        assert received == [via_switch, direct]
+        assert pmd.rx_via_bypass == 1
+        assert pmd.rx_via_normal == 1
+
+    def test_packet_out_arrives_during_bypass(self, pmd, bypass_ring):
+        # The controller's packet-out rides the normal channel even while
+        # the bypass is active — the PMD must keep polling both.
+        pmd.attach_bypass_rx(bypass_ring)
+        packet_out = mk_mbuf()
+        pmd.rings.to_guest.enqueue(packet_out)
+        assert pmd.rx_burst(32) == [packet_out]
+
+    def test_rx_burst_respects_max(self, pmd, bypass_ring):
+        pmd.attach_bypass_rx(bypass_ring)
+        for _ in range(4):
+            bypass_ring.enqueue(mk_mbuf())
+            pmd.rings.to_guest.enqueue(mk_mbuf())
+        received = pmd.rx_burst(6)
+        assert len(received) == 6
+        assert pmd.rx_via_normal == 4 and pmd.rx_via_bypass == 2
+
+    def test_detach_rx(self, pmd, bypass_ring):
+        pmd.attach_bypass_rx(bypass_ring)
+        pmd.detach_bypass_rx()
+        bypass_ring.enqueue(mk_mbuf())
+        assert pmd.rx_burst(32) == []
+
+
+class TestGuestPmdManager:
+    @pytest.fixture
+    def stack(self, registry):
+        DpdkrSharedRings(registry, "dpdkr0")
+        hypervisor = Hypervisor(registry)
+        vm = hypervisor.create_vm("vm1",
+                                  boot_zones=[dpdkr_zone_name("dpdkr0")])
+        manager = GuestPmdManager(vm)
+        return registry, hypervisor, vm, manager
+
+    def test_create_pmd_requires_visibility(self, stack):
+        registry, _hyp, vm, manager = stack
+        pmd = manager.create_pmd("dpdkr0")
+        assert manager.pmd("dpdkr0") is pmd
+        assert vm.eal.port(pmd.port_id) is pmd
+        DpdkrSharedRings(registry, "dpdkr1")  # exists but not plugged
+        with pytest.raises(Exception):
+            manager.create_pmd("dpdkr1")
+
+    def test_attach_command_requires_hotplug(self, stack):
+        registry, _hyp, vm, manager = stack
+        manager.create_pmd("dpdkr0")
+        zone = registry.reserve("bypass.test")
+        zone.put("ring", Ring("r", 64))
+        zone.put("stats", BypassStatsBlock("bypass.test", 1, 2))
+        command = ControlMessage("attach_bypass", {
+            "request_id": 1, "port_name": "dpdkr0",
+            "zone_name": "bypass.test", "role": "tx", "flow_id": 3,
+        })
+        with pytest.raises(Exception):
+            vm.serial.guest_handler(command)
+        registry.map_into("bypass.test", "vm1")
+        reply = vm.serial.guest_handler(command)
+        assert reply.command == "attach_bypass_ok"
+        assert manager.pmd("dpdkr0").bypass_tx_active
+
+    def test_detach_command(self, stack):
+        registry, _hyp, vm, manager = stack
+        manager.create_pmd("dpdkr0")
+        zone = registry.reserve("bypass.test")
+        zone.put("ring", Ring("r", 64))
+        zone.put("stats", BypassStatsBlock("bypass.test", 1, 2))
+        registry.map_into("bypass.test", "vm1")
+        vm.serial.guest_handler(ControlMessage("attach_bypass", {
+            "request_id": 1, "port_name": "dpdkr0",
+            "zone_name": "bypass.test", "role": "rx",
+        }))
+        reply = vm.serial.guest_handler(ControlMessage("detach_bypass", {
+            "request_id": 2, "port_name": "dpdkr0",
+            "zone_name": "bypass.test", "role": "rx",
+        }))
+        assert reply.command == "detach_bypass_ok"
+        assert not manager.pmd("dpdkr0").bypass_rx_active
+
+    def test_unknown_command_errors(self, stack):
+        _registry, _hyp, vm, _manager = stack
+        reply = vm.serial.guest_handler(
+            ControlMessage("reboot", {"request_id": 9})
+        )
+        assert reply.command == "error"
+
+    def test_duplicate_pmd_rejected(self, stack):
+        _registry, _hyp, _vm, manager = stack
+        manager.create_pmd("dpdkr0")
+        with pytest.raises(RuntimeError):
+            manager.create_pmd("dpdkr0")

@@ -1,0 +1,50 @@
+"""The simulation is deterministic: same configuration, same results.
+
+Determinism is what makes the benchmark numbers in EXPERIMENTS.md
+reproducible and regressions bisectable; any hidden dependence on
+wall-clock, hash randomization or iteration order of mutable state
+would break these tests.
+"""
+
+import pytest
+
+from repro.experiments import ChainExperiment, SetupTimeExperiment
+
+
+class TestDeterminism:
+    def test_chain_runs_identically(self):
+        results = [
+            ChainExperiment(num_vms=3, bypass=True,
+                            duration=0.002).run()
+            for _ in range(2)
+        ]
+        assert results[0].forward_delivered == results[1].forward_delivered
+        assert results[0].reverse_delivered == results[1].reverse_delivered
+        assert results[0].throughput_mpps == results[1].throughput_mpps
+        assert results[0].mean_latency == results[1].mean_latency
+
+    def test_vanilla_chain_runs_identically(self):
+        results = [
+            ChainExperiment(num_vms=4, bypass=False,
+                            duration=0.002).run()
+            for _ in range(2)
+        ]
+        assert results[0].forward_delivered == results[1].forward_delivered
+        assert results[0].ovs_utilization == results[1].ovs_utilization
+
+    def test_setup_time_is_exact(self):
+        first = SetupTimeExperiment().run()
+        second = SetupTimeExperiment().run()
+        assert first.total == second.total
+        assert first.stages() == second.stages()
+
+    def test_latency_reservoir_seeded(self):
+        from repro.metrics import LatencyRecorder
+
+        def fill():
+            recorder = LatencyRecorder(reservoir_size=8)
+            for value in range(1000):
+                recorder.record(float(value))
+            return sorted(recorder._reservoir)
+
+        assert fill() == fill()

@@ -1,0 +1,164 @@
+"""Additional engine semantics: interrupts, conditions, process joins."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+class TestInterruptSemantics:
+    def test_interrupt_while_waiting_on_process(self):
+        env = Environment()
+        log = []
+
+        def slow():
+            yield env.timeout(100)
+            return "done"
+
+        def waiter(target):
+            try:
+                yield target
+            except Interrupt as interrupt:
+                log.append(interrupt.cause)
+                # The target keeps running independently.
+                value = yield target
+                log.append(value)
+
+        target = env.process(slow())
+        process = env.process(waiter(target))
+
+        def killer():
+            yield env.timeout(1)
+            process.interrupt("hurry")
+
+        env.process(killer())
+        env.run()
+        assert log == ["hurry", "done"]
+
+    def test_interrupt_cause_defaults_none(self):
+        env = Environment()
+        seen = []
+
+        def sleeper():
+            try:
+                yield env.timeout(10)
+            except Interrupt as interrupt:
+                seen.append(interrupt.cause)
+
+        process = env.process(sleeper())
+
+        def killer():
+            yield env.timeout(1)
+            process.interrupt()
+
+        env.process(killer())
+        env.run()
+        assert seen == [None]
+
+    def test_process_is_alive_lifecycle(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+
+        process = env.process(quick())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+        assert process.triggered
+
+
+class TestConditionEdges:
+    def test_any_of_with_already_fired_event(self):
+        env = Environment()
+        early = Event(env)
+        early.succeed("early")
+        env.run()
+
+        def waiter():
+            value = yield env.any_of([early, env.timeout(10)])
+            return (value, env.now)
+
+        process = env.process(waiter())
+        env.run()
+        assert process.value[0] == "early"
+        assert process.value[1] == 0.0 or process.value[1] < 10
+
+    def test_all_of_preserves_order_of_values(self):
+        env = Environment()
+
+        def child(delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def parent():
+            values = yield env.all_of([
+                env.process(child(3, "slowest")),
+                env.process(child(1, "fastest")),
+                env.process(child(2, "middle")),
+            ])
+            return values
+
+        process = env.process(parent())
+        env.run()
+        assert process.value == ["slowest", "fastest", "middle"]
+
+    def test_nested_conditions(self):
+        env = Environment()
+
+        def child(delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def parent():
+            inner = env.all_of([env.process(child(1, "a")),
+                                env.process(child(2, "b"))])
+            value = yield env.any_of([inner, env.timeout(100, "timeout")])
+            return (value, env.now)
+
+        process = env.process(parent())
+        env.run()
+        assert process.value == (["a", "b"], 2)
+
+
+class TestErrorPaths:
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_joining_failed_process_raises_in_parent(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(1)
+            raise KeyError("inner")
+
+        def parent():
+            with pytest.raises(KeyError):
+                yield env.process(bad())
+            return "handled"
+
+        process = env.process(parent())
+        env.run()
+        assert process.value == "handled"
+
+    def test_now_advances_monotonically(self):
+        env = Environment()
+        stamps = []
+
+        def ticker():
+            for _ in range(5):
+                stamps.append(env.now)
+                yield env.timeout(0.5)
+
+        env.process(ticker())
+        env.run()
+        assert stamps == sorted(stamps)
+        assert env.now == 2.5

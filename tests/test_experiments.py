@@ -1,0 +1,118 @@
+"""Integration tests for the experiment harnesses.
+
+These are the same code paths the benchmarks run, at short durations:
+they pin the paper's qualitative results so a regression in the data
+path or the cost model fails fast.
+"""
+
+import pytest
+
+from repro.experiments import ChainExperiment, SetupTimeExperiment
+
+
+@pytest.fixture(scope="module")
+def memory_pair():
+    """One vanilla + one bypass run of a 3-VM memory-only chain."""
+    vanilla = ChainExperiment(num_vms=3, bypass=False, memory_only=True,
+                              duration=0.004).run()
+    bypass = ChainExperiment(num_vms=3, bypass=True, memory_only=True,
+                             duration=0.004).run()
+    return vanilla, bypass
+
+
+class TestMemoryChain:
+    def test_bypass_outperforms_vanilla(self, memory_pair):
+        vanilla, bypass = memory_pair
+        assert bypass.throughput_mpps > 1.5 * vanilla.throughput_mpps
+
+    def test_bypass_latency_lower(self, memory_pair):
+        vanilla, bypass = memory_pair
+        assert bypass.mean_latency < vanilla.mean_latency
+
+    def test_bypass_count(self, memory_pair):
+        vanilla, bypass = memory_pair
+        assert vanilla.active_bypasses == 0
+        assert bypass.active_bypasses == 4  # 2 adjacencies x 2 directions
+
+    def test_traffic_is_bidirectional(self, memory_pair):
+        _vanilla, bypass = memory_pair
+        assert bypass.forward_delivered > 0
+        assert bypass.reverse_delivered > 0
+
+    def test_setup_times_recorded(self, memory_pair):
+        _vanilla, bypass = memory_pair
+        assert len(bypass.setup_times) == 4
+        for setup in bypass.setup_times:
+            assert 0.05 < setup < 0.3
+
+    def test_vanilla_loads_ovs(self, memory_pair):
+        vanilla, bypass = memory_pair
+        assert max(vanilla.ovs_utilization) > 0.5
+        # With every inter-VM hop bypassed, OVS is essentially idle.
+        assert max(bypass.ovs_utilization) < 0.2
+
+    def test_throughput_decays_with_vanilla_chain_length(self):
+        short = ChainExperiment(num_vms=2, bypass=False,
+                                duration=0.003).run()
+        long = ChainExperiment(num_vms=5, bypass=False,
+                               duration=0.003).run()
+        assert long.throughput_mpps < 0.7 * short.throughput_mpps
+
+    def test_bypass_roughly_flat_with_chain_length(self):
+        # N=2 has no forwarding VM at all (source and sink are the whole
+        # chain), so flatness is asserted from N=3 up.
+        short = ChainExperiment(num_vms=3, bypass=True,
+                                duration=0.003).run()
+        long = ChainExperiment(num_vms=6, bypass=True,
+                               duration=0.003).run()
+        assert long.throughput_mpps > 0.8 * short.throughput_mpps
+
+    def test_too_short_chain_rejected(self):
+        with pytest.raises(ValueError):
+            ChainExperiment(num_vms=1, memory_only=True)
+
+
+class TestNicChain:
+    def test_single_vm_identical_both_modes(self):
+        vanilla = ChainExperiment(num_vms=1, bypass=False,
+                                  memory_only=False, duration=0.003).run()
+        bypass = ChainExperiment(num_vms=1, bypass=True,
+                                 memory_only=False, duration=0.003).run()
+        # With one VM there are no VM-to-VM links to accelerate.
+        assert bypass.active_bypasses == 0
+        assert bypass.throughput_mpps == pytest.approx(
+            vanilla.throughput_mpps, rel=0.15
+        )
+
+    def test_bypass_wins_with_chain(self):
+        vanilla = ChainExperiment(num_vms=3, bypass=False,
+                                  memory_only=False, duration=0.003).run()
+        bypass = ChainExperiment(num_vms=3, bypass=True,
+                                 memory_only=False, duration=0.003).run()
+        assert bypass.active_bypasses == 4
+        assert bypass.throughput_mpps > 1.3 * vanilla.throughput_mpps
+
+    def test_capped_by_line_rate(self):
+        from repro.sim.nic import line_rate_pps
+
+        result = ChainExperiment(num_vms=2, bypass=True,
+                                 memory_only=False, duration=0.003).run()
+        cap = 2 * line_rate_pps(64) / 1e6  # both directions
+        assert result.throughput_mpps <= cap * 1.01
+
+
+class TestSetupTime:
+    def test_order_of_100ms(self):
+        result = SetupTimeExperiment().run()
+        assert 0.05 < result.total < 0.2
+        stages = dict(result.stages())
+        assert stages["ivshmem hot-plug (parallel x2)"] > stages[
+            "OVS->agent RPC"
+        ]
+        assert result.teardown_total is not None
+        assert 0.0 < result.teardown_total < 0.2
+
+    def test_breakdown_sums_to_total(self):
+        result = SetupTimeExperiment(measure_teardown=False).run()
+        summed = sum(value for _name, value in result.stages())
+        assert summed == pytest.approx(result.total, rel=0.01)

@@ -1,0 +1,109 @@
+"""Idle timeouts vs the bypass: a subtle correctness requirement.
+
+With a p-2-p link bypassed, the vSwitch never sees the traffic, so a
+rule with an idle timeout looks dead even while carrying millions of
+packets.  The bridge must treat the PMD's shared-memory counters as
+liveness — otherwise the rule expires, the detector revokes the link,
+and the service tears itself down under full load.
+"""
+
+import pytest
+
+from repro.openflow.actions import OutputAction
+from repro.openflow.match import Match
+from repro.orchestration import NfvNode
+from repro.sim.engine import Environment
+from repro.traffic import SinkApp, SourceApp
+
+
+def build(idle_timeout):
+    env = Environment()
+    node = NfvNode(env=env)
+    node.create_vm("vm1", ["dpdkr0"])
+    node.create_vm("vm2", ["dpdkr1"])
+    node.switch.start()
+    node.controller.install_flow(
+        Match(in_port=node.ofport("dpdkr0")),
+        [OutputAction(node.ofport("dpdkr1"))],
+        idle_timeout=idle_timeout,
+    )
+    return env, node
+
+
+class TestIdleTimeoutWithBypass:
+    def test_active_bypass_traffic_keeps_rule_alive(self):
+        env, node = build(idle_timeout=1)
+        source = SourceApp("src", node.vms["vm1"].pmd("dpdkr0"),
+                           rate_pps=1e5)
+        sink = SinkApp("sink", node.vms["vm2"].pmd("dpdkr1"))
+        source.start(env)
+        sink.start(env)
+        # 3 seconds >> the 1 s idle timeout, all of it on the bypass.
+        env.run(until=3.0)
+        assert node.active_bypasses == 1
+        assert len(node.switch.bridge.table) == 1
+        assert sink.received > 100000
+        source.stop()
+        sink.stop()
+        node.switch.stop()
+
+    def test_rule_expires_once_traffic_stops(self):
+        env, node = build(idle_timeout=1)
+        source = SourceApp("src", node.vms["vm1"].pmd("dpdkr0"),
+                           rate_pps=1e5)
+        sink = SinkApp("sink", node.vms["vm2"].pmd("dpdkr1"))
+        source.start(env)
+        sink.start(env)
+        env.run(until=1.0)
+        source.stop()
+        # Idle for well over the timeout: the rule goes, and the link
+        # with it (dynamicity through expiry, not just explicit delete).
+        env.run(until=4.0)
+        assert len(node.switch.bridge.table) == 0
+        assert node.active_bypasses == 0
+        assert not node.vms["vm1"].pmd("dpdkr0").bypass_tx_active
+        node.controller.poll()
+        removed = node.controller.flow_removed[-1]
+        # The flow-removed message carries the bypassed packet counts.
+        assert removed.packet_count == sink.received
+        sink.stop()
+        node.switch.stop()
+
+    def test_hard_timeout_fires_despite_bypass_traffic(self):
+        env, node = build(idle_timeout=0)
+        # Replace with a hard-timeout rule.
+        node.controller.delete_flow(
+            Match(in_port=node.ofport("dpdkr0")))
+        node.controller.install_flow(
+            Match(in_port=node.ofport("dpdkr0")),
+            [OutputAction(node.ofport("dpdkr1"))],
+            hard_timeout=1,
+        )
+        source = SourceApp("src", node.vms["vm1"].pmd("dpdkr0"),
+                           rate_pps=1e5)
+        sink = SinkApp("sink", node.vms["vm2"].pmd("dpdkr1"))
+        source.start(env)
+        sink.start(env)
+        env.run(until=3.0)
+        # Hard timeouts are absolute: rule and bypass both gone.
+        assert len(node.switch.bridge.table) == 0
+        assert node.active_bypasses == 0
+        source.stop()
+        sink.stop()
+        node.switch.stop()
+
+    def test_idle_rule_without_bypass_unaffected(self):
+        # The liveness refresh must not keep unbypassed idle rules alive.
+        env = Environment()
+        node = NfvNode(env=env, highway_enabled=False)
+        node.create_vm("vm1", ["dpdkr0"])
+        node.create_vm("vm2", ["dpdkr1"])
+        node.switch.start()
+        node.controller.install_flow(
+            Match(in_port=node.ofport("dpdkr0")),
+            [OutputAction(node.ofport("dpdkr1"))],
+            idle_timeout=1,
+        )
+        env.run(until=3.0)
+        assert len(node.switch.bridge.table) == 0
+        node.switch.stop()

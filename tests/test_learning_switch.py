@@ -1,0 +1,115 @@
+"""End-to-end tests for the reactive L2 learning controller."""
+
+import pytest
+
+from repro.openflow.learning import LearningSwitchApp
+from repro.orchestration import NfvNode
+from repro.packet.builder import make_udp_packet
+
+from tests.helpers import mk_mbuf
+
+
+MAC_A = "02:00:00:00:00:0a"
+MAC_B = "02:00:00:00:00:0b"
+MAC_C = "02:00:00:00:00:0c"
+
+
+@pytest.fixture
+def fabric():
+    node = NfvNode()
+    for index in range(3):
+        node.create_vm("vm%d" % index, ["dpdkr%d" % index])
+    app = LearningSwitchApp(
+        node.controller,
+        ports=[node.ofport("dpdkr%d" % index) for index in range(3)],
+    )
+    return node, app
+
+
+def send(node, port_name, src, dst):
+    packet = make_udp_packet(src_mac=src, dst_mac=dst, frame_size=64)
+    mbuf = mk_mbuf(packet=packet)
+    node.vms["vm%s" % port_name[-1]].pmd(port_name).tx_burst([mbuf])
+    node.switch.step_dataplane()   # datapath: miss -> PacketIn
+    node.controller.poll()         # controller handles it
+    node.switch.step_control()     # switch applies FlowMod/PacketOut
+
+
+class TestLearning:
+    def test_unknown_destination_floods(self, fabric):
+        node, app = fabric
+        send(node, "dpdkr0", MAC_A, MAC_B)
+        assert app.floods == 1
+        assert app.lookup(0x02000000000A) == node.ofport("dpdkr0")
+        # Flood reached the two other ports, not the ingress.
+        assert node.vms["vm1"].pmd("dpdkr1").rx_burst(8) != []
+        assert node.vms["vm2"].pmd("dpdkr2").rx_burst(8) != []
+        assert node.vms["vm0"].pmd("dpdkr0").rx_burst(8) == []
+
+    def test_reply_installs_flow_and_forwards(self, fabric):
+        node, app = fabric
+        send(node, "dpdkr0", MAC_A, MAC_B)   # learn A, flood
+        send(node, "dpdkr1", MAC_B, MAC_A)   # learn B, install flow to A
+        assert app.flows_installed == 1
+        # The reply was packet-out'd straight to A's port.
+        delivered = node.vms["vm0"].pmd("dpdkr0").rx_burst(8)
+        assert len(delivered) == 1
+        # Subsequent B->A traffic rides the datapath without the
+        # controller.
+        packet_ins_before = len(node.controller.packet_ins)
+        send(node, "dpdkr1", MAC_B, MAC_A)
+        assert len(node.controller.packet_ins) == packet_ins_before
+        assert node.vms["vm0"].pmd("dpdkr0").rx_burst(8) != []
+
+    def test_broadcast_always_floods(self, fabric):
+        node, app = fabric
+        send(node, "dpdkr0", MAC_A, "ff:ff:ff:ff:ff:ff")
+        send(node, "dpdkr0", MAC_A, "ff:ff:ff:ff:ff:ff")
+        assert app.floods == 2
+        assert app.flows_installed == 0
+
+    def test_station_migration(self, fabric):
+        node, app = fabric
+        send(node, "dpdkr0", MAC_A, MAC_B)
+        assert app.lookup(0x02000000000A) == node.ofport("dpdkr0")
+        send(node, "dpdkr2", MAC_A, MAC_B)  # A moved to port 2
+        assert app.lookup(0x02000000000A) == node.ofport("dpdkr2")
+
+    def test_hairpin_dropped(self, fabric):
+        node, app = fabric
+        send(node, "dpdkr0", MAC_A, MAC_B)   # learn A at 0
+        send(node, "dpdkr0", MAC_B, MAC_A)   # B also shows up at 0 (!)
+        # Destination A is behind the same port: no flow, no packet-out.
+        assert app.flows_installed == 0
+
+    def test_learning_rules_are_not_bypassed(self, fabric):
+        """eth_dst rules are not point-to-point: the detector must not
+        create channels for them, even when traffic is steady."""
+        node, app = fabric
+        send(node, "dpdkr0", MAC_A, MAC_B)
+        send(node, "dpdkr1", MAC_B, MAC_A)
+        send(node, "dpdkr0", MAC_A, MAC_B)
+        assert app.flows_installed >= 1
+        assert node.active_bypasses == 0
+        assert node.manager.detector.links == {}
+
+    def test_learned_flows_idle_out(self):
+        from repro.sim.engine import Environment
+
+        env = Environment()
+        node = NfvNode(env=env)
+        node.create_vm("vm0", ["dpdkr0"])
+        node.create_vm("vm1", ["dpdkr1"])
+        app = LearningSwitchApp(
+            node.controller,
+            ports=[node.ofport("dpdkr0"), node.ofport("dpdkr1")],
+            idle_timeout=1,
+        )
+        send(node, "dpdkr0", MAC_A, MAC_B)
+        send(node, "dpdkr1", MAC_B, MAC_A)
+        assert len(node.switch.bridge.table) == 1
+        env.run(until=5.0)
+        node.switch.step_control()
+        assert len(node.switch.bridge.table) == 0
+        node.controller.poll()
+        assert len(node.controller.flow_removed) == 1

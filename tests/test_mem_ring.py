@@ -1,0 +1,143 @@
+"""Unit tests for the rte_ring-style FIFO."""
+
+import pytest
+
+from repro.mem.ring import (
+    Ring,
+    RingEmptyError,
+    RingFullError,
+    RingMode,
+)
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Ring("r", capacity=100)
+
+    def test_rejects_bad_watermark(self):
+        with pytest.raises(ValueError):
+            Ring("r", capacity=8, watermark=8)
+        with pytest.raises(ValueError):
+            Ring("r", capacity=8, watermark=0)
+
+    def test_usable_capacity_is_minus_one(self):
+        ring = Ring("r", capacity=8)
+        assert ring.free_count == 7
+
+
+class TestSingleOps:
+    def test_fifo_order(self):
+        ring = Ring("r", capacity=8)
+        for value in range(5):
+            ring.enqueue(value)
+        assert [ring.dequeue() for _ in range(5)] == list(range(5))
+
+    def test_full_raises_and_counts(self):
+        ring = Ring("r", capacity=4)
+        for value in range(3):
+            ring.enqueue(value)
+        assert ring.is_full
+        with pytest.raises(RingFullError):
+            ring.enqueue(99)
+        assert ring.enqueue_failures == 1
+
+    def test_empty_raises_and_counts(self):
+        ring = Ring("r", capacity=4)
+        with pytest.raises(RingEmptyError):
+            ring.dequeue()
+        assert ring.dequeue_failures == 1
+
+    def test_wraparound(self):
+        ring = Ring("r", capacity=4)
+        for cycle in range(10):
+            ring.enqueue(cycle)
+            assert ring.dequeue() == cycle
+        assert ring.is_empty
+        assert ring.enqueued == 10 and ring.dequeued == 10
+
+    def test_peek(self):
+        ring = Ring("r", capacity=4)
+        ring.enqueue("a")
+        assert ring.peek() == "a"
+        assert len(ring) == 1
+        assert ring.dequeue() == "a"
+        with pytest.raises(RingEmptyError):
+            ring.peek()
+
+
+class TestBulk:
+    def test_bulk_all_or_nothing_enqueue(self):
+        ring = Ring("r", capacity=8)
+        ring.enqueue_bulk([1, 2, 3, 4, 5])
+        with pytest.raises(RingFullError):
+            ring.enqueue_bulk([6, 7, 8])  # only 2 slots free
+        assert len(ring) == 5
+
+    def test_bulk_all_or_nothing_dequeue(self):
+        ring = Ring("r", capacity=8)
+        ring.enqueue_bulk([1, 2])
+        with pytest.raises(RingEmptyError):
+            ring.dequeue_bulk(3)
+        assert ring.dequeue_bulk(2) == [1, 2]
+
+    def test_bulk_preserves_order(self):
+        ring = Ring("r", capacity=16)
+        ring.enqueue_bulk(list(range(10)))
+        assert ring.dequeue_bulk(10) == list(range(10))
+
+
+class TestBurst:
+    def test_burst_partial_enqueue(self):
+        ring = Ring("r", capacity=8)
+        accepted = ring.enqueue_burst(list(range(10)))
+        assert accepted == 7
+        assert ring.enqueue_failures == 1
+        assert ring.dequeue_burst(16) == list(range(7))
+
+    def test_burst_empty_dequeue(self):
+        ring = Ring("r", capacity=8)
+        assert ring.dequeue_burst(4) == []
+
+    def test_burst_zero_on_full(self):
+        ring = Ring("r", capacity=4)
+        ring.enqueue_burst([1, 2, 3])
+        assert ring.enqueue_burst([4]) == 0
+
+    def test_burst_enqueue_nothing(self):
+        ring = Ring("r", capacity=4)
+        assert ring.enqueue_burst([]) == 0
+        assert ring.enqueue_failures == 0
+
+
+class TestWatermark:
+    def test_watermark_flag(self):
+        ring = Ring("r", capacity=8, watermark=4)
+        for value in range(3):
+            ring.enqueue(value)
+        assert not ring.above_watermark
+        ring.enqueue(3)
+        assert ring.above_watermark
+
+    def test_no_watermark(self):
+        ring = Ring("r", capacity=8)
+        ring.enqueue_bulk(list(range(7)))
+        assert not ring.above_watermark
+
+
+class TestMaintenance:
+    def test_drain(self):
+        ring = Ring("r", capacity=8)
+        ring.enqueue_bulk([1, 2, 3])
+        assert ring.drain() == [1, 2, 3]
+        assert ring.is_empty
+
+    def test_slots_cleared_after_dequeue(self):
+        # Ensures no lingering references keep mbufs alive (leak check).
+        ring = Ring("r", capacity=4)
+        ring.enqueue("x")
+        ring.dequeue()
+        assert all(slot is None for slot in ring._slots)
+
+    def test_mode_recorded(self):
+        assert Ring("r", mode=RingMode.MP_MC).mode is RingMode.MP_MC

@@ -1,0 +1,105 @@
+"""Second round of targeted branch coverage."""
+
+import pytest
+
+from repro.openflow.actions import OutputAction, SetFieldAction
+from repro.openflow.flowsyntax import parse_flow
+from repro.openflow.match import Match
+from repro.packet.headers import Ethernet, MacAddress
+from repro.vswitch.vswitchd import VSwitchd
+
+from tests.helpers import drain, mk_mbuf
+
+
+class TestInjectWithRewrite:
+    def test_packet_out_with_set_field(self):
+        switch = VSwitchd()
+        port = switch.add_dpdkr_port("dpdkr0")
+        mbuf = mk_mbuf()
+        switch.datapath.inject(
+            mbuf,
+            [SetFieldAction("eth_dst", 0x020000000042),
+             OutputAction(port.ofport)],
+        )
+        delivered = drain(port.rings.to_guest)
+        assert delivered == [mbuf]
+        assert delivered[0].packet.get(Ethernet).dst == MacAddress(
+            0x020000000042
+        )
+
+    def test_inject_drop(self):
+        switch = VSwitchd()
+        mbuf = mk_mbuf()
+        switch.datapath.inject(mbuf, [])
+        assert mbuf.refcnt == 0
+
+
+class TestFlowSyntaxMasks:
+    def test_mac_with_mac_mask(self):
+        match, _actions, _attr = parse_flow(
+            "dl_dst=01:00:00:00:00:00/01:00:00:00:00:00,actions=drop"
+        )
+        assert match.get("eth_dst") == (1 << 40, 1 << 40)
+
+    def test_hex_mask(self):
+        match, _a, _attr = parse_flow(
+            "ip,nw_src=10.0.0.0/0xff000000,actions=drop"
+        )
+        assert match.get("ip_src")[1] == 0xFF000000
+
+
+class TestNffgMacDump:
+    def test_mac_fields_roundtrip(self):
+        from repro.orchestration import ServiceGraph, dump_nffg, load_nffg
+
+        graph = ServiceGraph("macs")
+        graph.add_vnf("a", ["p"])
+        graph.add_vnf("b", ["p"])
+        graph.connect(
+            "a.p", "b.p",
+            match_fields={"eth_dst": MacAddress.from_string(
+                "02:00:00:00:00:09").value},
+        )
+        reloaded = load_nffg(dump_nffg(graph))
+        link = reloaded.links[0]
+        assert link.match_fields["eth_dst"] == 0x020000000009
+
+
+class TestMatchReprAndHashing:
+    def test_match_usable_as_dict_key(self):
+        table = {Match(in_port=1): "a", Match(): "b"}
+        assert table[Match(in_port=1)] == "a"
+        assert table[Match()] == "b"
+
+    def test_neq_non_match(self):
+        assert Match() != 42
+
+
+class TestPortAccounting:
+    def test_phy_port_counters(self):
+        from repro.sim.engine import Environment
+        from repro.sim.nic import Nic
+        from repro.vswitch.ports import PhyOvsPort
+
+        env = Environment()
+        nic = Nic(env, "eth0")
+        port = PhyOvsPort(1, "eth0", nic)
+        mbuf = mk_mbuf(frame_size=64)
+        nic.wire_receive(mbuf)
+        received = port.receive_burst(8)
+        assert received == [mbuf]
+        assert port.rx_bytes == 64
+        assert port.send_burst([mbuf]) == 1
+        assert port.tx_packets == 1
+
+    def test_dpdkr_port_tx_drop_accounting(self):
+        from repro.dpdk.dpdkr import DpdkrSharedRings
+        from repro.mem.memzone import MemzoneRegistry
+        from repro.vswitch.ports import DpdkrOvsPort
+
+        rings = DpdkrSharedRings(MemzoneRegistry(), "p0", ring_size=4)
+        port = DpdkrOvsPort(1, rings)
+        mbufs = [mk_mbuf() for _ in range(5)]
+        assert port.send_burst(mbufs) == 3
+        assert port.tx_dropped == 2
+        assert all(m.refcnt == 0 for m in mbufs[3:])

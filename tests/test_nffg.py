@@ -1,0 +1,186 @@
+"""Tests for the NF-FG (UNIFY forwarding graph) JSON format."""
+
+import json
+
+import pytest
+
+from repro.apps import ForwarderApp
+from repro.orchestration import NfvNode, Orchestrator
+from repro.orchestration.graph import ServiceGraph
+from repro.orchestration.nffg import (
+    NffgError,
+    dump_nffg,
+    load_nffg,
+)
+from repro.packet.headers import ETH_TYPE_IPV4, IP_PROTO_TCP, ipv4_to_int
+
+
+CHAIN_DOC = {
+    "forwarding-graph": {
+        "id": "chain2",
+        "VNFs": [
+            {"id": "vnf1", "type": "forwarder",
+             "ports": [{"id": "p0"}, {"id": "p1"}]},
+            {"id": "vnf2", "type": "forwarder",
+             "ports": [{"id": "p0"}, {"id": "p1"}]},
+        ],
+        "end-points": [],
+        "big-switch": {"flow-rules": [
+            {"match": {"port_in": "vnf:vnf1:p1"},
+             "actions": [{"output_to_port": "vnf:vnf2:p0"}]},
+            {"match": {"port_in": "vnf:vnf2:p0"},
+             "actions": [{"output_to_port": "vnf:vnf1:p1"}]},
+        ]},
+    }
+}
+
+
+class TestLoad:
+    def test_load_chain(self):
+        graph = load_nffg(CHAIN_DOC)
+        assert graph.name == "chain2"
+        assert set(graph.vnfs) == {"vnf1", "vnf2"}
+        assert len(graph.links) == 2
+        assert all(link.is_total for link in graph.links)
+
+    def test_load_from_json_text(self):
+        graph = load_nffg(json.dumps(CHAIN_DOC))
+        assert len(graph.links) == 2
+
+    def test_classified_match_translation(self):
+        document = {
+            "forwarding-graph": {
+                "id": "split",
+                "VNFs": [
+                    {"id": "a", "ports": [{"id": "p"}]},
+                    {"id": "b", "ports": [{"id": "p"}]},
+                ],
+                "end-points": [],
+                "big-switch": {"flow-rules": [{
+                    "match": {"port_in": "vnf:a:p", "protocol": "tcp",
+                              "dest_port": 80,
+                              "dest_ip": "10.0.0.0/8"},
+                    "actions": [{"output_to_port": "vnf:b:p"}],
+                    "priority": 300,
+                }]},
+            }
+        }
+        graph = load_nffg(document)
+        link = graph.links[0]
+        assert link.priority == 300
+        assert link.match_fields["ip_proto"] == IP_PROTO_TCP
+        assert link.match_fields["l4_dst"] == 80
+        assert link.match_fields["ip_dst"] == (ipv4_to_int("10.0.0.0"),
+                                               0xFF000000)
+        assert link.match_fields["eth_type"] == ETH_TYPE_IPV4
+
+    def test_endpoints(self):
+        document = {
+            "forwarding-graph": {
+                "id": "in-out",
+                "VNFs": [{"id": "a", "ports": [{"id": "p"}]}],
+                "end-points": [{"id": "nic0"}],
+                "big-switch": {"flow-rules": [{
+                    "match": {"port_in": "endpoint:nic0"},
+                    "actions": [{"output_to_port": "vnf:a:p"}],
+                }]},
+            }
+        }
+        graph = load_nffg(document)
+        assert graph.external_ports == ["nic0"]
+        assert graph.links[0].src.is_external
+
+    def test_vnf_type_registry(self):
+        graph = load_nffg(CHAIN_DOC)
+        factory = graph.vnfs["vnf1"].app_factory
+        app = factory({"p0": _dummy_port(), "p1": _dummy_port()})
+        assert isinstance(app, ForwarderApp)
+
+    def test_error_cases(self):
+        with pytest.raises(NffgError):
+            load_nffg({"not-a-graph": {}})
+        with pytest.raises(NffgError):
+            load_nffg({"forwarding-graph": {
+                "VNFs": [{"id": "a", "ports": []}]}})
+        with pytest.raises(NffgError):
+            load_nffg({"forwarding-graph": {
+                "VNFs": [{"id": "a", "type": "warp",
+                          "ports": [{"id": "p"}]}]}})
+
+    def test_dest_port_requires_protocol(self):
+        document = {
+            "forwarding-graph": {
+                "VNFs": [{"id": "a", "ports": [{"id": "p"}]},
+                         {"id": "b", "ports": [{"id": "p"}]}],
+                "big-switch": {"flow-rules": [{
+                    "match": {"port_in": "vnf:a:p", "dest_port": 80},
+                    "actions": [{"output_to_port": "vnf:b:p"}],
+                }]},
+            }
+        }
+        with pytest.raises(NffgError):
+            load_nffg(document)
+
+    def test_bad_port_reference(self):
+        document = {
+            "forwarding-graph": {
+                "VNFs": [{"id": "a", "ports": [{"id": "p"}]}],
+                "big-switch": {"flow-rules": [{
+                    "match": {"port_in": "bogus"},
+                    "actions": [{"output_to_port": "vnf:a:p"}],
+                }]},
+            }
+        }
+        with pytest.raises(NffgError):
+            load_nffg(document)
+
+
+class TestDumpRoundtrip:
+    def test_roundtrip_preserves_structure(self):
+        graph = ServiceGraph("svc")
+        graph.add_vnf("fw", ["in", "out"])
+        graph.add_vnf("mon", ["in"])
+        graph.add_external("nic0")
+        graph.connect("fw.out", "mon.in",
+                      match_fields={"eth_type": ETH_TYPE_IPV4,
+                                    "ip_proto": IP_PROTO_TCP,
+                                    "l4_dst": 80},
+                      priority=200)
+        from repro.orchestration.graph import external
+
+        graph.connect(external("nic0"), "fw.in")
+        document = dump_nffg(graph)
+        reloaded = load_nffg(document)
+        assert set(reloaded.vnfs) == {"fw", "mon"}
+        assert reloaded.external_ports == ["nic0"]
+        assert len(reloaded.links) == 2
+        classified = [l for l in reloaded.links if not l.is_total][0]
+        assert classified.match_fields["l4_dst"] == 80
+        assert classified.priority == 200
+
+    def test_dump_json_serializable(self):
+        graph = load_nffg(CHAIN_DOC)
+        text = json.dumps(dump_nffg(graph))
+        assert "vnf:vnf1:p1" in text
+
+
+class TestDeployFromNffg:
+    def test_deploy_creates_bypasses(self):
+        node = NfvNode()
+        graph = load_nffg(CHAIN_DOC)
+        deployment = Orchestrator(node).deploy(graph)
+        assert len(deployment.vm_handles) == 2
+        assert len(deployment.apps) == 2
+        # Both total links were upgraded to bypass channels.
+        assert node.active_bypasses == 2
+
+
+def _dummy_port():
+    from repro.dpdk.dpdkr import DpdkrPmd, DpdkrSharedRings
+    from repro.mem.memzone import MemzoneRegistry
+
+    registry = MemzoneRegistry()
+    _dummy_port.counter = getattr(_dummy_port, "counter", 0) + 1
+    return DpdkrPmd(0, DpdkrSharedRings(
+        registry, "dummy%d" % _dummy_port.counter
+    ))

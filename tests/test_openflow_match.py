@@ -1,0 +1,180 @@
+"""Unit tests for the Match region algebra."""
+
+import pytest
+
+from repro.openflow.match import FIELD_WIDTHS, Match, MatchError
+from repro.packet import extract_flow_key, make_tcp_packet, make_udp_packet
+from repro.packet.headers import (
+    ETH_TYPE_IPV4,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    ipv4_to_int,
+)
+
+
+class TestConstruction:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(MatchError):
+            Match(bogus=1)
+
+    def test_value_out_of_range(self):
+        with pytest.raises(MatchError):
+            Match(eth_type=1 << 16)
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(MatchError):
+            Match(ip_src=(0, 1 << 33), eth_type=ETH_TYPE_IPV4)
+
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(MatchError):
+            Match(eth_type=ETH_TYPE_IPV4,
+                  ip_src=(ipv4_to_int("10.0.0.1"), 0xFF000000))
+
+    def test_zero_mask_becomes_wildcard(self):
+        match = Match(eth_type=ETH_TYPE_IPV4, ip_src=(0, 0))
+        assert not match.constrains("ip_src")
+
+    def test_exact_only_fields_reject_masks(self):
+        with pytest.raises(MatchError):
+            Match(in_port=(1, 0x0F))
+
+    def test_prerequisite_l3_requires_eth_type(self):
+        with pytest.raises(MatchError):
+            Match(ip_src=ipv4_to_int("10.0.0.1"))
+
+    def test_prerequisite_l4_requires_ip_proto(self):
+        with pytest.raises(MatchError):
+            Match(eth_type=ETH_TYPE_IPV4, l4_dst=80)
+
+    def test_prerequisite_eth_type_must_be_ip(self):
+        with pytest.raises(MatchError):
+            Match(eth_type=0x0806, ip_src=1)
+
+    def test_valid_l4_match(self):
+        match = Match(eth_type=ETH_TYPE_IPV4, ip_proto=IP_PROTO_TCP,
+                      l4_dst=80)
+        assert match.constrains("l4_dst")
+
+    def test_equality_and_hash(self):
+        a = Match(in_port=1, eth_type=ETH_TYPE_IPV4)
+        b = Match(eth_type=ETH_TYPE_IPV4, in_port=1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Match(in_port=2, eth_type=ETH_TYPE_IPV4)
+
+
+class TestPacketMatching:
+    def test_wildcard_matches_everything(self):
+        key = extract_flow_key(make_udp_packet(), 3)
+        assert Match().matches(key)
+        assert Match().is_wildcard_all
+
+    def test_in_port_match(self):
+        key = extract_flow_key(make_udp_packet(), 3)
+        assert Match(in_port=3).matches(key)
+        assert not Match(in_port=4).matches(key)
+
+    def test_masked_ip_match(self):
+        key = extract_flow_key(
+            make_udp_packet(src_ip="10.1.2.3"), 1
+        )
+        subnet = Match(eth_type=ETH_TYPE_IPV4,
+                       ip_src=(ipv4_to_int("10.0.0.0"), 0xFF000000))
+        assert subnet.matches(key)
+        other = Match(eth_type=ETH_TYPE_IPV4,
+                      ip_src=(ipv4_to_int("192.168.0.0"), 0xFFFF0000))
+        assert not other.matches(key)
+
+    def test_l4_match(self):
+        key = extract_flow_key(make_tcp_packet(dst_port=80), 1)
+        web = Match(eth_type=ETH_TYPE_IPV4, ip_proto=IP_PROTO_TCP, l4_dst=80)
+        assert web.matches(key)
+        not_web = Match(eth_type=ETH_TYPE_IPV4, ip_proto=IP_PROTO_TCP,
+                        l4_dst=443)
+        assert not not_web.matches(key)
+
+
+class TestOverlap:
+    def test_disjoint_ports_do_not_overlap(self):
+        assert not Match(in_port=1).overlaps(Match(in_port=2))
+
+    def test_wildcard_overlaps_everything(self):
+        assert Match().overlaps(Match(in_port=5))
+        assert Match(in_port=5).overlaps(Match())
+
+    def test_masked_overlap(self):
+        ten_slash8 = Match(eth_type=ETH_TYPE_IPV4,
+                           ip_dst=(ipv4_to_int("10.0.0.0"), 0xFF000000))
+        ten_one_slash16 = Match(eth_type=ETH_TYPE_IPV4,
+                                ip_dst=(ipv4_to_int("10.1.0.0"), 0xFFFF0000))
+        assert ten_slash8.overlaps(ten_one_slash16)
+        other = Match(eth_type=ETH_TYPE_IPV4,
+                      ip_dst=(ipv4_to_int("11.0.0.0"), 0xFF000000))
+        assert not ten_slash8.overlaps(other)
+
+    def test_overlap_is_symmetric(self):
+        a = Match(in_port=1, eth_type=ETH_TYPE_IPV4, ip_proto=IP_PROTO_TCP)
+        b = Match(in_port=1)
+        assert a.overlaps(b) == b.overlaps(a) == True  # noqa: E712
+
+    def test_different_fields_overlap(self):
+        # One constrains eth_src, the other eth_dst: both can be satisfied.
+        assert Match(eth_src=1).overlaps(Match(eth_dst=2))
+
+
+class TestCovers:
+    def test_wildcard_covers_all(self):
+        assert Match().covers(Match(in_port=1, eth_type=ETH_TYPE_IPV4))
+
+    def test_nothing_covers_wildcard_except_wildcard(self):
+        assert not Match(in_port=1).covers(Match())
+        assert Match().covers(Match())
+
+    def test_subnet_covers_host(self):
+        subnet = Match(eth_type=ETH_TYPE_IPV4,
+                       ip_dst=(ipv4_to_int("10.0.0.0"), 0xFF000000))
+        host = Match(eth_type=ETH_TYPE_IPV4,
+                     ip_dst=ipv4_to_int("10.3.4.5"))
+        assert subnet.covers(host)
+        assert not host.covers(subnet)
+
+    def test_covers_implies_overlaps(self):
+        wide = Match(in_port=2)
+        narrow = Match(in_port=2, eth_type=ETH_TYPE_IPV4)
+        assert wide.covers(narrow)
+        assert wide.overlaps(narrow)
+
+
+class TestTotality:
+    def test_total_for_port(self):
+        assert Match(in_port=4).is_total_for_port(4)
+        assert not Match(in_port=4).is_total_for_port(5)
+
+    def test_extra_constraint_not_total(self):
+        match = Match(in_port=4, eth_type=ETH_TYPE_IPV4)
+        assert not match.is_total_for_port(4)
+
+    def test_wildcard_not_total_for_specific_port(self):
+        assert not Match().is_total_for_port(4)
+
+    def test_in_port_property(self):
+        assert Match(in_port=9).in_port == 9
+        assert Match().in_port is None
+
+    def test_repr_formats(self):
+        assert repr(Match()) == "Match(*)"
+        text = repr(Match(in_port=1, eth_type=ETH_TYPE_IPV4,
+                          ip_src=(0x0A000000, 0xFF000000)))
+        assert "in_port=0x1" in text
+        assert "/0xff000000" in text
+
+    def test_all_fields_constructible_exact(self):
+        for name, width in FIELD_WIDTHS.items():
+            kwargs = {name: (1 << width) - 1 if width < 16 else 1}
+            if name in ("ip_src", "ip_dst", "ip_proto", "ip_tos"):
+                kwargs["eth_type"] = ETH_TYPE_IPV4
+            if name in ("l4_src", "l4_dst"):
+                kwargs["eth_type"] = ETH_TYPE_IPV4
+                kwargs["ip_proto"] = IP_PROTO_UDP
+            match = Match(**kwargs)
+            assert match.constrains(name)

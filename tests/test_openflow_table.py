@@ -1,0 +1,232 @@
+"""Unit tests for FlowTable semantics."""
+
+import pytest
+
+from repro.openflow.actions import OutputAction, SetFieldAction
+from repro.openflow.match import Match
+from repro.openflow.table import ExpiryReason, FlowEntry, FlowTable
+from repro.packet import extract_flow_key, make_tcp_packet, make_udp_packet
+from repro.packet.headers import ETH_TYPE_IPV4, IP_PROTO_TCP
+
+
+def entry(match, out_port, priority=0x8000, **kwargs):
+    return FlowEntry(match, [OutputAction(out_port)], priority=priority,
+                     **kwargs)
+
+
+def udp_key(in_port=1, **kwargs):
+    return extract_flow_key(make_udp_packet(**kwargs), in_port)
+
+
+class TestLookup:
+    def test_miss_on_empty_table(self):
+        table = FlowTable()
+        assert table.lookup(udp_key()) is None
+        assert table.lookup_count == 1 and table.matched_count == 0
+
+    def test_highest_priority_wins(self):
+        table = FlowTable()
+        low = entry(Match(in_port=1), 2, priority=10)
+        high = entry(Match(in_port=1), 3, priority=20)
+        table.add(low)
+        table.add(high)
+        assert table.lookup(udp_key(in_port=1)) is high
+
+    def test_equal_priority_fifo_tie_break(self):
+        table = FlowTable()
+        first = entry(Match(in_port=1), 2, priority=10)
+        second = entry(Match(), 3, priority=10)
+        table.add(first)
+        table.add(second)
+        assert table.lookup(udp_key(in_port=1)) is first
+
+    def test_specific_beats_wildcard_only_via_priority(self):
+        table = FlowTable()
+        wildcard = entry(Match(), 9, priority=100)
+        specific = entry(Match(in_port=1), 2, priority=10)
+        table.add(wildcard)
+        table.add(specific)
+        # OpenFlow is strictly priority ordered; no implicit specificity.
+        assert table.lookup(udp_key(in_port=1)) is wildcard
+
+
+class TestAdd:
+    def test_add_replaces_same_match_and_priority(self):
+        table = FlowTable()
+        old = entry(Match(in_port=1), 2, priority=5)
+        new = entry(Match(in_port=1), 7, priority=5)
+        table.add(old)
+        result = table.add(new)
+        assert result.removed == [old]
+        assert len(table) == 1
+        assert table.lookup(udp_key(in_port=1)) is new
+
+    def test_add_does_not_replace_different_priority(self):
+        table = FlowTable()
+        table.add(entry(Match(in_port=1), 2, priority=5))
+        table.add(entry(Match(in_port=1), 7, priority=6))
+        assert len(table) == 2
+
+    def test_check_overlap_rejects(self):
+        table = FlowTable()
+        table.add(entry(Match(in_port=1), 2, priority=5))
+        overlapping = entry(Match(), 3, priority=5)
+        with pytest.raises(ValueError):
+            table.add(overlapping, check_overlap=True)
+
+    def test_check_overlap_allows_different_priority(self):
+        table = FlowTable()
+        table.add(entry(Match(in_port=1), 2, priority=5))
+        table.add(entry(Match(), 3, priority=6), check_overlap=True)
+        assert len(table) == 2
+
+
+class TestModifyDelete:
+    def test_modify_nonstrict_updates_covered(self):
+        table = FlowTable()
+        narrow = entry(Match(in_port=1, eth_type=ETH_TYPE_IPV4), 2)
+        other = entry(Match(in_port=2), 3)
+        table.add(narrow)
+        table.add(other)
+        result = table.modify(Match(in_port=1), [OutputAction(9)])
+        assert result.modified == [narrow]
+        assert narrow.actions == [OutputAction(9)]
+        assert other.actions == [OutputAction(3)]
+
+    def test_modify_strict_requires_exact(self):
+        table = FlowTable()
+        installed = entry(Match(in_port=1), 2, priority=7)
+        table.add(installed)
+        missed = table.modify(Match(in_port=1), [OutputAction(9)],
+                              strict=True, priority=8)
+        assert missed.modified == []
+        hit = table.modify(Match(in_port=1), [OutputAction(9)],
+                           strict=True, priority=7)
+        assert hit.modified == [installed]
+
+    def test_modify_preserves_counters(self):
+        table = FlowTable()
+        installed = entry(Match(in_port=1), 2)
+        installed.account(5, 320, now=1.0)
+        table.add(installed)
+        table.modify(Match(in_port=1), [OutputAction(9)])
+        assert installed.packet_count == 5
+
+    def test_delete_nonstrict_covers(self):
+        table = FlowTable()
+        table.add(entry(Match(in_port=1, eth_type=ETH_TYPE_IPV4), 2))
+        table.add(entry(Match(in_port=1), 3))
+        table.add(entry(Match(in_port=2), 4))
+        result = table.delete(Match(in_port=1))
+        assert len(result.removed) == 2
+        assert len(table) == 1
+
+    def test_delete_strict(self):
+        table = FlowTable()
+        keep = entry(Match(in_port=1, eth_type=ETH_TYPE_IPV4), 2, priority=5)
+        kill = entry(Match(in_port=1), 3, priority=5)
+        table.add(keep)
+        table.add(kill)
+        result = table.delete(Match(in_port=1), strict=True, priority=5)
+        assert result.removed == [kill]
+        assert keep in table.entries()
+
+    def test_delete_out_port_filter(self):
+        table = FlowTable()
+        to_two = entry(Match(in_port=1), 2, priority=5)
+        to_three = entry(Match(in_port=3), 3, priority=5)
+        table.add(to_two)
+        table.add(to_three)
+        result = table.delete(Match(), out_port=3)
+        assert result.removed == [to_three]
+
+    def test_delete_cookie_filter(self):
+        table = FlowTable()
+        a = entry(Match(in_port=1), 2, cookie=0xAA)
+        b = entry(Match(in_port=2), 3, cookie=0xBB)
+        table.add(a)
+        table.add(b)
+        result = table.delete(Match(), cookie=0xBB)
+        assert result.removed == [b]
+
+
+class TestTimeouts:
+    def test_hard_timeout(self):
+        table = FlowTable()
+        short = entry(Match(in_port=1), 2, hard_timeout=5.0, install_time=0.0)
+        table.add(short)
+        assert table.expire(now=4.9) == []
+        expired = table.expire(now=5.0)
+        assert expired == [(short, ExpiryReason.HARD)]
+        assert len(table) == 0
+
+    def test_idle_timeout_refreshed_by_traffic(self):
+        table = FlowTable()
+        flow = entry(Match(in_port=1), 2, idle_timeout=2.0, install_time=0.0)
+        table.add(flow)
+        flow.account(1, 64, now=1.5)
+        assert table.expire(now=3.0) == []
+        expired = table.expire(now=3.6)
+        assert expired == [(flow, ExpiryReason.IDLE)]
+
+    def test_no_timeout_never_expires(self):
+        table = FlowTable()
+        table.add(entry(Match(in_port=1), 2))
+        assert table.expire(now=1e9) == []
+
+
+class TestListeners:
+    def test_listener_sees_add_modify_remove(self):
+        table = FlowTable()
+        events = []
+        table.add_listener(lambda kind, e: events.append((kind, e.flow_id)))
+        installed = entry(Match(in_port=1), 2)
+        table.add(installed)
+        table.modify(Match(in_port=1), [OutputAction(5)])
+        table.delete(Match(in_port=1))
+        kinds = [kind for kind, _id in events]
+        assert kinds == ["added", "modified", "removed"]
+
+    def test_replace_notifies_removed_then_added(self):
+        table = FlowTable()
+        events = []
+        table.add(entry(Match(in_port=1), 2, priority=5))
+        table.add_listener(lambda kind, e: events.append(kind))
+        table.add(entry(Match(in_port=1), 9, priority=5))
+        assert events == ["removed", "added"]
+
+    def test_clear_notifies_all(self):
+        table = FlowTable()
+        table.add(entry(Match(in_port=1), 2))
+        table.add(entry(Match(in_port=2), 3))
+        events = []
+        table.add_listener(lambda kind, e: events.append(kind))
+        removed = table.clear()
+        assert len(removed) == 2 and events == ["removed", "removed"]
+
+    def test_remove_listener(self):
+        table = FlowTable()
+        events = []
+        listener = lambda kind, e: events.append(kind)  # noqa: E731
+        table.add_listener(listener)
+        table.remove_listener(listener)
+        table.add(entry(Match(in_port=1), 2))
+        assert events == []
+
+
+class TestEntriesForInPort:
+    def test_includes_wildcard_in_port(self):
+        table = FlowTable()
+        specific = entry(Match(in_port=1), 2)
+        wildcard = entry(Match(eth_type=ETH_TYPE_IPV4), 3)
+        other = entry(Match(in_port=2), 4)
+        table.add(specific)
+        table.add(wildcard)
+        table.add(other)
+        relevant = table.entries_for_in_port(1)
+        assert specific in relevant and wildcard in relevant
+        assert other not in relevant
+
+    def test_priority_bounds(self):
+        with pytest.raises(ValueError):
+            FlowEntry(Match(), [], priority=0x10000)

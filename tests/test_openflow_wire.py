@@ -1,0 +1,217 @@
+"""Wire-format roundtrip tests for the OpenFlow codec."""
+
+import pytest
+
+from repro.openflow import wire
+from repro.openflow.actions import OutputAction, SetFieldAction
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    ErrorMsg,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    FlowRemovedReason,
+    FlowStatsEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
+    Hello,
+    PacketIn,
+    PacketInReason,
+    PacketOut,
+    PortStatsEntry,
+    PortStatsReply,
+    PortStatsRequest,
+)
+from repro.packet.headers import ETH_TYPE_IPV4, IP_PROTO_TCP, IP_PROTO_UDP
+
+
+def roundtrip(message):
+    frame = wire.encode(message)
+    assert frame[0] == 0x04  # OF1.3
+    assert int.from_bytes(frame[2:4], "big") == len(frame)
+    return wire.decode(frame)
+
+
+class TestMatchCodec:
+    def test_empty_match(self):
+        match, consumed = wire.decode_match(wire.encode_match(Match()))
+        assert match == Match()
+        assert consumed == 8  # 4-byte header padded to 8
+
+    def test_exact_fields(self):
+        original = Match(in_port=3, eth_type=ETH_TYPE_IPV4,
+                         ip_proto=IP_PROTO_TCP, l4_dst=80)
+        decoded, _ = wire.decode_match(wire.encode_match(original))
+        assert decoded == original
+
+    def test_udp_l4_fields_use_udp_oxm(self):
+        original = Match(eth_type=ETH_TYPE_IPV4, ip_proto=IP_PROTO_UDP,
+                         l4_src=53)
+        blob = wire.encode_match(original)
+        decoded, _ = wire.decode_match(blob)
+        assert decoded == original
+
+    def test_masked_fields(self):
+        original = Match(eth_type=ETH_TYPE_IPV4,
+                         ip_src=(0x0A000000, 0xFF000000),
+                         eth_dst=(0x010000000000, 0x010000000000))
+        decoded, _ = wire.decode_match(wire.encode_match(original))
+        assert decoded == original
+
+    def test_padding_is_eight_aligned(self):
+        blob = wire.encode_match(Match(in_port=1))
+        assert len(blob) % 8 == 0
+
+    def test_truncated_match_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_match(b"\x00\x01")
+
+
+class TestMessageRoundtrips:
+    def test_hello(self):
+        assert isinstance(roundtrip(Hello(xid=7)), Hello)
+
+    def test_echo(self):
+        decoded = roundtrip(EchoRequest(xid=1, data=b"abc"))
+        assert decoded.data == b"abc"
+        assert roundtrip(EchoReply(data=b"x")).data == b"x"
+
+    def test_features(self):
+        assert isinstance(roundtrip(FeaturesRequest()), FeaturesRequest)
+        decoded = roundtrip(FeaturesReply(datapath_id=0xDEAD, n_buffers=3,
+                                          n_tables=1, capabilities=0x4F))
+        assert decoded.datapath_id == 0xDEAD
+        assert decoded.capabilities == 0x4F
+
+    def test_flowmod_add(self):
+        original = FlowMod(
+            command=FlowModCommand.ADD,
+            match=Match(in_port=1),
+            actions=[OutputAction(2)],
+            priority=100,
+            cookie=0xC0FFEE,
+            idle_timeout=10,
+            hard_timeout=60,
+        )
+        decoded = roundtrip(original)
+        assert decoded.command == FlowModCommand.ADD
+        assert decoded.match == original.match
+        assert decoded.actions == [OutputAction(2)]
+        assert decoded.priority == 100
+        assert decoded.cookie == 0xC0FFEE
+        assert (decoded.idle_timeout, decoded.hard_timeout) == (10, 60)
+
+    def test_flowmod_delete_with_out_port(self):
+        original = FlowMod(command=FlowModCommand.DELETE, match=Match(),
+                           out_port=4)
+        decoded = roundtrip(original)
+        assert decoded.command == FlowModCommand.DELETE
+        assert decoded.out_port == 4
+
+    def test_flowmod_check_overlap_flag(self):
+        decoded = roundtrip(FlowMod(match=Match(in_port=1),
+                                    actions=[OutputAction(2)],
+                                    check_overlap=True))
+        assert decoded.check_overlap
+
+    def test_flowmod_set_field_action(self):
+        original = FlowMod(
+            match=Match(in_port=1),
+            actions=[SetFieldAction("eth_dst", 0x020000000009),
+                     OutputAction(3)],
+        )
+        decoded = roundtrip(original)
+        assert decoded.actions == original.actions
+
+    def test_flow_removed(self):
+        original = FlowRemoved(match=Match(in_port=2), priority=9,
+                               cookie=1, reason=FlowRemovedReason.IDLE_TIMEOUT,
+                               duration_sec=3.5, packet_count=100,
+                               byte_count=6400)
+        decoded = roundtrip(original)
+        assert decoded.match == original.match
+        assert decoded.reason == FlowRemovedReason.IDLE_TIMEOUT
+        assert decoded.packet_count == 100
+        assert abs(decoded.duration_sec - 3.5) < 1e-6
+
+    def test_packet_in(self):
+        original = PacketIn(in_port=5, reason=PacketInReason.NO_MATCH,
+                            data=b"\x01\x02\x03")
+        decoded = roundtrip(original)
+        assert decoded.in_port == 5
+        assert decoded.data == b"\x01\x02\x03"
+
+    def test_packet_out(self):
+        original = PacketOut(actions=[OutputAction(7)], data=b"frame")
+        decoded = roundtrip(original)
+        assert decoded.actions == [OutputAction(7)]
+        assert decoded.data == b"frame"
+
+    def test_flow_stats_request(self):
+        decoded = roundtrip(FlowStatsRequest(match=Match(in_port=1)))
+        assert decoded.match == Match(in_port=1)
+
+    def test_flow_stats_reply(self):
+        original = FlowStatsReply(stats=[
+            FlowStatsEntry(match=Match(in_port=1), priority=5, cookie=9,
+                           packet_count=11, byte_count=704,
+                           duration_sec=2.0, actions=[OutputAction(2)]),
+            FlowStatsEntry(match=Match(), priority=0, cookie=0,
+                           packet_count=0, byte_count=0, duration_sec=0.0),
+        ])
+        decoded = roundtrip(original)
+        assert len(decoded.stats) == 2
+        assert decoded.stats[0].packet_count == 11
+        assert decoded.stats[0].match == Match(in_port=1)
+        assert list(decoded.stats[0].actions) == [OutputAction(2)]
+
+    def test_port_stats(self):
+        assert roundtrip(PortStatsRequest(port_no=3)).port_no == 3
+        assert roundtrip(PortStatsRequest()).port_no is None
+        original = PortStatsReply(stats=[
+            PortStatsEntry(port_no=1, rx_packets=10, tx_packets=20,
+                           rx_bytes=640, tx_bytes=1280, rx_dropped=1),
+        ])
+        decoded = roundtrip(original)
+        assert decoded.stats[0].tx_packets == 20
+        assert decoded.stats[0].rx_dropped == 1
+
+    def test_barrier(self):
+        assert isinstance(roundtrip(BarrierRequest()), BarrierRequest)
+        assert isinstance(roundtrip(BarrierReply()), BarrierReply)
+
+    def test_error(self):
+        decoded = roundtrip(ErrorMsg(error_type=3, code=5, data=b"\x00"))
+        assert (decoded.error_type, decoded.code) == (3, 5)
+
+    def test_xid_preserved(self):
+        assert roundtrip(Hello(xid=0xABCD)).xid == 0xABCD
+
+
+class TestDecodeErrors:
+    def test_truncated_header(self):
+        with pytest.raises(wire.WireError):
+            wire.decode(b"\x04\x00")
+
+    def test_wrong_version(self):
+        frame = bytearray(wire.encode(Hello()))
+        frame[0] = 0x01
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(frame))
+
+    def test_length_mismatch(self):
+        frame = wire.encode(Hello()) + b"\x00"
+        with pytest.raises(wire.WireError):
+            wire.decode(frame)
+
+    def test_unknown_type(self):
+        frame = bytearray(wire.encode(Hello()))
+        frame[1] = 99
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(frame))

@@ -1,0 +1,148 @@
+"""Tests for pcap I/O and the capture tap."""
+
+import io
+import struct
+
+import pytest
+
+from repro.dpdk.dpdkr import DpdkrPmd, DpdkrSharedRings
+from repro.mem.memzone import MemzoneRegistry
+from repro.packet.builder import make_tcp_packet, make_udp_packet
+from repro.packet.packet import Packet
+from repro.packet.pcap import (
+    CaptureTap,
+    PcapError,
+    read_pcap,
+    write_pcap,
+)
+
+from tests.helpers import mk_mbuf
+
+
+class TestPcapFormat:
+    def test_roundtrip(self):
+        frames = [
+            (0.0, make_udp_packet(frame_size=64).pack()),
+            (1.5, make_tcp_packet(payload=b"GET /").pack()),
+            (2.000001, b"\x00" * 14),
+        ]
+        buffer = io.BytesIO()
+        assert write_pcap(buffer, frames) == 3
+        buffer.seek(0)
+        decoded = read_pcap(buffer)
+        assert len(decoded) == 3
+        for (ts_in, frame_in), (ts_out, frame_out) in zip(frames, decoded):
+            assert frame_out == frame_in
+            assert ts_out == pytest.approx(ts_in, abs=1e-6)
+
+    def test_header_magic_and_linktype(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [])
+        raw = buffer.getvalue()
+        assert len(raw) == 24
+        magic, major, minor = struct.unpack("<IHH", raw[:8])
+        assert magic == 0xA1B2C3D4
+        assert (major, minor) == (2, 4)
+        (linktype,) = struct.unpack("<I", raw[20:24])
+        assert linktype == 1  # Ethernet
+
+    def test_snaplen_truncation(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [(0.0, b"\xab" * 100)], snaplen=60)
+        buffer.seek(0)
+        decoded = read_pcap(buffer)
+        assert len(decoded[0][1]) == 60
+
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_record(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [(0.0, b"\x01" * 20)])
+        raw = buffer.getvalue()[:-5]
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(raw))
+
+    def test_big_endian_read(self):
+        # Construct a minimal big-endian capture by hand.
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 1, 0, 4, 4) + b"\xde\xad\xbe\xef"
+        decoded = read_pcap(io.BytesIO(header + record))
+        assert decoded == [(1.0, b"\xde\xad\xbe\xef")]
+
+    def test_microsecond_rounding_carry(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [(0.9999999, b"\x01" * 14)])
+        buffer.seek(0)
+        (ts, _frame), = read_pcap(buffer)
+        assert ts == pytest.approx(1.0, abs=1e-5)
+
+
+class TestCaptureTap:
+    @pytest.fixture
+    def tapped_port(self):
+        registry = MemzoneRegistry()
+        inner = DpdkrPmd(0, DpdkrSharedRings(registry, "dpdkr0"))
+        return inner, CaptureTap(inner)
+
+    def test_tx_recorded_and_forwarded(self, tapped_port):
+        inner, tap = tapped_port
+        mbuf = mk_mbuf(frame_size=64)
+        assert tap.tx_burst([mbuf]) == 1
+        assert inner.rings.to_switch.dequeue() is mbuf
+        assert len(tap.records) == 1
+        ts, frame, direction = tap.records[0]
+        assert direction == "tx"
+        assert Packet.unpack(frame).wire_length == 64
+
+    def test_rx_recorded(self, tapped_port):
+        inner, tap = tapped_port
+        mbuf = mk_mbuf(frame_size=64)
+        inner.rings.to_guest.enqueue(mbuf)
+        assert tap.rx_burst(8) == [mbuf]
+        assert tap.records[0][2] == "rx"
+
+    def test_dump_to_pcap(self, tapped_port):
+        _inner, tap = tapped_port
+        tap.tx_burst([mk_mbuf(frame_size=64)])
+        tap.tx_burst([mk_mbuf(frame_size=128)])
+        buffer = io.BytesIO()
+        assert tap.dump(buffer) == 2
+        buffer.seek(0)
+        frames = read_pcap(buffer)
+        assert [len(f) for _ts, f in frames] == [64, 128]
+
+    def test_direction_filter(self, tapped_port):
+        inner, tap = tapped_port
+        tap.tx_burst([mk_mbuf()])
+        inner.rings.to_guest.enqueue(mk_mbuf())
+        tap.rx_burst(8)
+        buffer = io.BytesIO()
+        assert tap.dump(buffer, direction="rx") == 1
+
+    def test_max_records_bound(self):
+        registry = MemzoneRegistry()
+        inner = DpdkrPmd(0, DpdkrSharedRings(registry, "dpdkr0"))
+        tap = CaptureTap(inner, max_records=2)
+        for _ in range(4):
+            tap.tx_burst([mk_mbuf()])
+        assert len(tap.records) == 2
+        assert tap.truncated
+
+    def test_tap_sees_bypass_traffic(self):
+        """The tap sits in the guest, so it captures bypassed packets
+        the vSwitch never sees."""
+        from repro.orchestration import NfvNode
+
+        node = NfvNode()
+        node.create_vm("vm1", ["dpdkr0"])
+        node.create_vm("vm2", ["dpdkr1"])
+        node.install_p2p_rule("dpdkr0", "dpdkr1")
+        node.settle_control_plane()
+        tap = CaptureTap(node.vms["vm1"].pmd("dpdkr0"))
+        tap.tx_burst([mk_mbuf(frame_size=64)])
+        assert len(tap.records) == 1
+        assert node.ports["dpdkr0"].rx_packets == 0
+        # And the tap charges the same bypass accounting cost.
+        assert tap.tx_extra_cost > 0

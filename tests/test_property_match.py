@@ -1,0 +1,128 @@
+"""Property tests for the Match region algebra.
+
+The p-2-p detector's correctness rests on ``overlaps``/``covers``; these
+properties pin their semantics against a brute-force packet oracle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.openflow.match import Match
+from repro.packet.flowkey import FlowKey
+from repro.packet.headers import ETH_TYPE_IPV4, IP_PROTO_TCP, IP_PROTO_UDP
+
+# A deliberately tiny universe so random sampling finds witnesses:
+# 2 ports, 2 macs, 2 ips, 2 l4 ports.
+PORTS = [1, 2]
+MACS = [0x02, 0x03]
+IPS = [0x0A000001, 0x0A000002]
+L4S = [80, 443]
+
+
+def all_keys():
+    keys = []
+    for in_port in PORTS:
+        for eth_src in MACS:
+            for ip_dst in IPS:
+                for l4_dst in L4S:
+                    keys.append(FlowKey(
+                        in_port=in_port, eth_src=eth_src, eth_dst=0x02,
+                        eth_type=ETH_TYPE_IPV4, vlan_vid=0,
+                        ip_src=0x0A000001, ip_dst=ip_dst,
+                        ip_proto=IP_PROTO_TCP, ip_tos=0,
+                        l4_src=1000, l4_dst=l4_dst,
+                    ))
+    return keys
+
+
+UNIVERSE = all_keys()
+
+
+@st.composite
+def matches(draw):
+    constraints = {}
+    if draw(st.booleans()):
+        constraints["in_port"] = draw(st.sampled_from(PORTS))
+    if draw(st.booleans()):
+        constraints["eth_src"] = draw(st.sampled_from(MACS))
+    use_l3 = draw(st.booleans())
+    if use_l3:
+        constraints["eth_type"] = ETH_TYPE_IPV4
+        if draw(st.booleans()):
+            # Sometimes masked: either exact or /24-style.
+            ip = draw(st.sampled_from(IPS))
+            if draw(st.booleans()):
+                constraints["ip_dst"] = (ip & 0xFFFFFF00, 0xFFFFFF00)
+            else:
+                constraints["ip_dst"] = ip
+        if draw(st.booleans()):
+            constraints["ip_proto"] = draw(
+                st.sampled_from([IP_PROTO_TCP, IP_PROTO_UDP])
+            )
+            if constraints["ip_proto"] == IP_PROTO_TCP and draw(
+                st.booleans()
+            ):
+                constraints["l4_dst"] = draw(st.sampled_from(L4S))
+    return Match(**constraints)
+
+
+def region(match):
+    return frozenset(
+        index for index, key in enumerate(UNIVERSE) if match.matches(key)
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(matches(), matches())
+def test_overlap_agrees_with_region_intersection(a, b):
+    """If the sampled regions intersect, overlaps() must be True.
+
+    (The converse cannot be asserted against a finite universe: two
+    matches may overlap only at packets outside the sample.)
+    """
+    if region(a) & region(b):
+        assert a.overlaps(b)
+
+
+@settings(max_examples=300, deadline=None)
+@given(matches(), matches())
+def test_overlap_is_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@settings(max_examples=300, deadline=None)
+@given(matches(), matches())
+def test_covers_implies_region_containment(a, b):
+    if a.covers(b):
+        assert region(b) <= region(a)
+        assert a.overlaps(b)
+
+
+@settings(max_examples=300, deadline=None)
+@given(matches())
+def test_covers_is_reflexive(a):
+    assert a.covers(a)
+
+
+@settings(max_examples=300, deadline=None)
+@given(matches(), matches(), matches())
+def test_covers_is_transitive(a, b, c):
+    if a.covers(b) and b.covers(c):
+        assert a.covers(c)
+
+
+@settings(max_examples=300, deadline=None)
+@given(matches())
+def test_wildcard_covers_everything(a):
+    assert Match().covers(a)
+    assert Match().overlaps(a)
+
+
+@settings(max_examples=300, deadline=None)
+@given(matches())
+def test_total_port_match_region(a):
+    for port in PORTS:
+        if a.is_total_for_port(port):
+            expected = {index for index, key in enumerate(UNIVERSE)
+                        if key.in_port == port}
+            assert region(a) == expected

@@ -1,0 +1,109 @@
+"""Property: a two-table pipeline behaves like its flattened equivalent.
+
+For pipelines of the restricted shape we support (table 0 classifies and
+either acts or gotos; table 1 acts), the packet-level outcome must equal
+a hand-flattened single table: for every sampled packet, the set of
+output ports is identical.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.openflow.actions import (
+    GotoTableAction,
+    OutputAction,
+)
+from repro.openflow.table import FlowEntry, FlowTable
+from repro.packet.flowkey import FlowKey
+from repro.packet.headers import ETH_TYPE_IPV4, IP_PROTO_TCP, IP_PROTO_UDP
+from repro.openflow.match import Match
+
+PORTS = [1, 2, 3]
+L4S = [80, 443]
+
+
+def make_key(in_port, proto, l4_dst):
+    return FlowKey(
+        in_port=in_port, eth_src=2, eth_dst=3, eth_type=ETH_TYPE_IPV4,
+        vlan_vid=0, ip_src=1, ip_dst=2, ip_proto=proto, ip_tos=0,
+        l4_src=1, l4_dst=l4_dst,
+    )
+
+
+ALL_KEYS = [make_key(p, proto, d)
+            for p in PORTS
+            for proto in (IP_PROTO_TCP, IP_PROTO_UDP)
+            for d in L4S]
+
+
+@st.composite
+def table1_rules(draw):
+    rules = []
+    for _ in range(draw(st.integers(0, 4))):
+        constraints = {}
+        if draw(st.booleans()):
+            constraints["eth_type"] = ETH_TYPE_IPV4
+            constraints["ip_proto"] = draw(
+                st.sampled_from([IP_PROTO_TCP, IP_PROTO_UDP])
+            )
+            if draw(st.booleans()):
+                constraints["l4_dst"] = draw(st.sampled_from(L4S))
+        out = draw(st.sampled_from(PORTS + [None]))
+        actions = [] if out is None else [OutputAction(out)]
+        rules.append((Match(**constraints), actions,
+                      draw(st.integers(0, 3))))
+    return rules
+
+
+def pipeline_outputs(datapath_tables, key):
+    """Resolve ``key`` through tables {0: ..., 1: ...}; return outputs."""
+    outputs = []
+    table_id = 0
+    while True:
+        entry = datapath_tables[table_id].lookup(key)
+        if entry is None:
+            break
+        goto = None
+        for action in entry.actions:
+            if isinstance(action, GotoTableAction):
+                goto = action
+            elif isinstance(action, OutputAction):
+                outputs.append(action.port)
+        if goto is None or goto.table_id not in datapath_tables:
+            break
+        table_id = goto.table_id
+    return outputs
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.sampled_from(PORTS),
+    table1_rules(),
+)
+def test_goto_pipeline_equals_flattened(goto_port, rules):
+    # Pipeline: table 0 sends traffic from `goto_port` to table 1.
+    table0 = FlowTable(0)
+    table1 = FlowTable(1)
+    table0.add(FlowEntry(Match(in_port=goto_port),
+                         [GotoTableAction(1)], priority=10))
+    for match, actions, priority in rules:
+        table1.add(FlowEntry(match, list(actions), priority=priority))
+
+    # Flattened: each table-1 rule restricted to in_port=goto_port.
+    flat = FlowTable(0)
+    for match, actions, priority in rules:
+        constraints = {name: value
+                       for name, value in match.fields.items()}
+        constraints["in_port"] = goto_port
+        flat.add(FlowEntry(Match(**constraints), list(actions),
+                           priority=priority))
+
+    for key in ALL_KEYS:
+        if key.in_port != goto_port:
+            continue
+        via_pipeline = pipeline_outputs({0: table0, 1: table1}, key)
+        flat_entry = flat.lookup(key)
+        via_flat = ([action.port for action in flat_entry.actions
+                     if isinstance(action, OutputAction)]
+                    if flat_entry else [])
+        assert via_pipeline == via_flat

@@ -1,0 +1,115 @@
+"""Property tests: the ring behaves exactly like a bounded FIFO model."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.mempool import Mempool, MempoolEmptyError
+from repro.mem.ring import Ring, RingEmptyError, RingFullError
+
+CAPACITY = 16
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), st.integers(0, 1000)),
+        st.tuples(st.just("deq"), st.just(0)),
+        st.tuples(st.just("enq_bulk"), st.integers(1, 8)),
+        st.tuples(st.just("deq_bulk"), st.integers(1, 8)),
+        st.tuples(st.just("enq_burst"), st.integers(1, 8)),
+        st.tuples(st.just("deq_burst"), st.integers(1, 8)),
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations)
+def test_ring_matches_bounded_fifo_model(ops):
+    ring = Ring("model", CAPACITY)
+    model = deque()
+    usable = CAPACITY - 1
+    counter = 0
+    for op, arg in ops:
+        if op == "enq":
+            try:
+                ring.enqueue(arg)
+                assert len(model) < usable
+                model.append(arg)
+            except RingFullError:
+                assert len(model) == usable
+        elif op == "deq":
+            try:
+                value = ring.dequeue()
+                assert model and value == model.popleft()
+            except RingEmptyError:
+                assert not model
+        elif op == "enq_bulk":
+            batch = list(range(counter, counter + arg))
+            counter += arg
+            try:
+                ring.enqueue_bulk(batch)
+                assert usable - len(model) >= arg
+                model.extend(batch)
+            except RingFullError:
+                assert usable - len(model) < arg
+        elif op == "deq_bulk":
+            try:
+                values = ring.dequeue_bulk(arg)
+                assert len(model) >= arg
+                expected = [model.popleft() for _ in range(arg)]
+                assert values == expected
+            except RingEmptyError:
+                assert len(model) < arg
+        elif op == "enq_burst":
+            batch = list(range(counter, counter + arg))
+            counter += arg
+            accepted = ring.enqueue_burst(batch)
+            assert accepted == min(arg, usable - len(model))
+            model.extend(batch[:accepted])
+        elif op == "deq_burst":
+            values = ring.dequeue_burst(arg)
+            expected_count = min(arg, len(model))
+            assert len(values) == expected_count
+            assert values == [model.popleft()
+                              for _ in range(expected_count)]
+        assert len(ring) == len(model)
+        assert ring.is_empty == (not model)
+        assert ring.free_count == usable - len(model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(["get", "put", "get_bulk"]), max_size=100))
+def test_mempool_conservation(ops):
+    """Allocated + free always equals pool size; order-independent."""
+    pool = Mempool("p", size=8)
+    held = []
+    for op in ops:
+        if op == "get":
+            try:
+                held.append(pool.get())
+            except MempoolEmptyError:
+                assert pool.available == 0
+        elif op == "get_bulk":
+            try:
+                held.extend(pool.get_bulk(3))
+            except MempoolEmptyError:
+                assert pool.available < 3
+        elif op == "put" and held:
+            held.pop().free()
+        assert pool.available + len(held) == 8
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+def test_ring_preserves_order_across_wraparound(values):
+    ring = Ring("order", 8)
+    out = []
+    for value in values:
+        try:
+            ring.enqueue(value)
+        except RingFullError:
+            out.extend(ring.drain())
+            ring.enqueue(value)
+    out.extend(ring.drain())
+    assert out == values

@@ -1,0 +1,55 @@
+"""Short-duration checks of the Figure-1 service experiment."""
+
+import pytest
+
+from repro.experiments import ServiceGraphExperiment
+from repro.experiments.service_graph import (
+    CACHE_TOKENS,
+    web_mix_profile,
+)
+
+
+class TestWebMixProfile:
+    def test_half_web_half_other(self):
+        profile = web_mix_profile()
+        web = [t for t in profile.templates if t.flow_key.l4_dst == 80]
+        other = [t for t in profile.templates
+                 if t.flow_key.l4_dst != 80]
+        assert len(web) == len(other) > 0
+
+    def test_web_payloads_carry_catalogue_tokens(self):
+        profile = web_mix_profile()
+        payloads = [t.packet.payload for t in profile.templates
+                    if t.flow_key.l4_dst == 80]
+        for payload in payloads:
+            assert any(payload.startswith(token)
+                       for token in CACHE_TOKENS)
+
+
+class TestServiceGraphExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ServiceGraphExperiment(bypass=True, duration=0.002,
+                                      rate_pps=2e6).run()
+
+    def test_bypasses_active(self, result):
+        assert result.active_bypasses == 3
+
+    def test_split_works(self, result):
+        assert result.web_delivered > 0
+        assert result.other_delivered > 0
+
+    def test_cache_hits_preloaded_catalogue(self, result):
+        assert result.cache_hits > 0
+        assert abs(result.cache_hit_rate - 0.5) < 0.05
+
+    def test_monitor_tracks_all_flows(self, result):
+        # 8 web + 8 udp template flows in the mix.
+        assert result.monitor_flows == 16
+
+    def test_classified_split_on_switch(self, result):
+        assert result.classified_port_switched_packets > 0
+
+    def test_accounting_consistent(self, result):
+        # Hits are absorbed by the cache; misses + other reach sinks.
+        assert result.web_delivered <= result.cache_misses

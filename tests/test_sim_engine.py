@@ -1,0 +1,239 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+class TestTimeouts:
+    def test_timeouts_advance_clock_in_order(self):
+        env = Environment()
+        log = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            log.append((tag, env.now))
+
+        env.process(proc(0.5, "b"))
+        env.process(proc(0.2, "a"))
+        env.run()
+        assert log == [("a", 0.2), ("b", 0.5)]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_run_until_stops_clock(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(10.0)
+
+        env.process(proc())
+        assert env.run(until=1.0) == 1.0
+        assert env.now == 1.0
+        # Event still pending; finishing the run executes it.
+        assert env.run() == 10.0
+
+    def test_run_backwards_rejected(self):
+        env = Environment()
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_zero_delay_preserves_fifo(self):
+        env = Environment()
+        log = []
+
+        def proc(tag):
+            yield env.timeout(0)
+            log.append(tag)
+
+        env.process(proc(1))
+        env.process(proc(2))
+        env.run()
+        assert log == [1, 2]
+
+
+class TestEvents:
+    def test_succeed_wakes_waiter_with_value(self):
+        env = Environment()
+        gate = env.event()
+        seen = []
+
+        def waiter():
+            value = yield gate
+            seen.append((value, env.now))
+
+        def firer():
+            yield env.timeout(1.5)
+            gate.succeed("go")
+
+        env.process(waiter())
+        env.process(firer())
+        env.run()
+        assert seen == [("go", 1.5)]
+
+    def test_fail_raises_in_waiter(self):
+        env = Environment()
+        gate = env.event()
+
+        def waiter():
+            with pytest.raises(RuntimeError, match="boom"):
+                yield gate
+            return "handled"
+
+        def firer():
+            yield env.timeout(1)
+            gate.fail(RuntimeError("boom"))
+
+        process = env.process(waiter())
+        env.process(firer())
+        env.run()
+        assert process.value == "handled"
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        gate = env.event()
+        gate.succeed()
+        with pytest.raises(SimulationError):
+            gate.succeed()
+
+    def test_wait_on_already_processed_event(self):
+        env = Environment()
+        gate = env.event()
+        gate.succeed("early")
+        env.run()  # deliver it with no waiters
+
+        def late_waiter():
+            value = yield gate
+            return value
+
+        process = env.process(late_waiter())
+        env.run()
+        assert process.value == "early"
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().value
+
+
+class TestProcesses:
+    def test_join_returns_value(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(2)
+            return 42
+
+        def parent():
+            result = yield env.process(child())
+            return result * 2
+
+        process = env.process(parent())
+        env.run()
+        assert process.value == 84
+
+    def test_unhandled_crash_surfaces(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("dataplane bug")
+
+        env.process(bad())
+        with pytest.raises(SimulationError, match="crashed"):
+            env.run()
+
+    def test_yield_non_event_is_error(self):
+        env = Environment()
+
+        def bad():
+            yield 3
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_interrupt_wakes_sleeper(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                log.append((interrupt.cause, env.now))
+
+        def killer(target):
+            yield env.timeout(1)
+            target.interrupt("stop")
+
+        target = env.process(sleeper())
+        env.process(killer(target))
+        env.run()
+        assert log == [("stop", 1)]
+
+    def test_interrupt_dead_process_rejected(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(0)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+
+class TestConditions:
+    def test_all_of(self):
+        env = Environment()
+
+        def child(delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def parent():
+            values = yield env.all_of(
+                [env.process(child(1, "a")), env.process(child(3, "b"))]
+            )
+            return (values, env.now)
+
+        process = env.process(parent())
+        env.run()
+        assert process.value == (["a", "b"], 3)
+
+    def test_any_of(self):
+        env = Environment()
+
+        def child(delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def parent():
+            value = yield env.any_of(
+                [env.process(child(5, "slow")), env.process(child(1, "fast"))]
+            )
+            return (value, env.now)
+
+        process = env.process(parent())
+        env.run()
+        assert process.value == ("fast", 1)
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+
+        def parent():
+            values = yield env.all_of([])
+            return values
+
+        process = env.process(parent())
+        env.run()
+        assert process.value == []

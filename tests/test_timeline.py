@@ -1,0 +1,75 @@
+"""Tests for the event timeline and highway tracing."""
+
+from repro.metrics.timeline import EventTimeline, attach_highway_tracing
+from repro.orchestration import NfvNode
+from repro.sim.engine import Environment
+
+
+class TestEventTimeline:
+    def test_record_and_render(self):
+        clock = {"now": 0.0}
+        timeline = EventTimeline(clock=lambda: clock["now"])
+        timeline.record("start", run=1)
+        clock["now"] = 0.5
+        timeline.record("stop", run=1)
+        assert len(timeline) == 2
+        text = timeline.render()
+        assert "start" in text and "run=1" in text
+        assert "500.000 ms" in text
+
+    def test_filter(self):
+        timeline = EventTimeline()
+        timeline.record("a")
+        timeline.record("b")
+        timeline.record("a")
+        assert len(timeline.filter("a")) == 2
+
+    def test_spans(self):
+        clock = {"now": 0.0}
+        timeline = EventTimeline(clock=lambda: clock["now"])
+        timeline.record("open", id=1)
+        clock["now"] = 0.1
+        timeline.record("open", id=2)
+        clock["now"] = 0.3
+        timeline.record("close", id=1)
+        clock["now"] = 0.35
+        timeline.record("close", id=2)
+        spans = timeline.spans("open", "close", key="id")
+        assert sorted(round(s, 3) for s in spans) == [0.25, 0.3]
+
+    def test_max_events_bound(self):
+        timeline = EventTimeline(max_events=2)
+        for _ in range(5):
+            timeline.record("x")
+        assert len(timeline) == 2
+        assert timeline.dropped == 3
+
+    def test_unmatched_span_end_ignored(self):
+        timeline = EventTimeline()
+        timeline.record("close", id=9)
+        assert timeline.spans("open", "close", key="id") == []
+
+
+class TestHighwayTracing:
+    def test_full_lifecycle_trace(self):
+        env = Environment()
+        node = NfvNode(env=env)
+        node.create_vm("vm1", ["dpdkr0"])
+        node.create_vm("vm2", ["dpdkr1"])
+        timeline = EventTimeline(clock=lambda: env.now)
+        attach_highway_tracing(timeline, node.manager.detector,
+                               node.manager)
+        node.switch.start()
+        node.install_p2p_rule("dpdkr0", "dpdkr1")
+        env.run(until=0.3)
+        from repro.openflow.match import Match
+
+        node.controller.delete_flow(Match(in_port=node.ofport("dpdkr0")))
+        env.run(until=0.6)
+        node.switch.stop()
+        names = [event.name for event in timeline.events]
+        assert names == ["p2p-detected", "bypass-active", "p2p-revoked",
+                         "bypass-removed"]
+        spans = timeline.spans("p2p-detected", "bypass-active", key="src")
+        assert len(spans) == 1
+        assert 0.08 < spans[0] < 0.15  # the ~100 ms establishment

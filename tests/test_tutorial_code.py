@@ -1,0 +1,93 @@
+"""The tutorial's code must actually work: run its VNF end to end."""
+
+import pytest
+
+from repro.apps import DpdkApp, PortPair
+from repro.orchestration import NfvNode, Orchestrator, ServiceGraph
+from repro.packet.builder import make_udp_packet
+from repro.packet.headers import IPv4
+from repro.sim.engine import Environment
+
+from tests.helpers import mk_mbuf
+
+
+class TtlScrubber(DpdkApp):
+    """The tutorial's example VNF, verbatim in behaviour."""
+
+    def __init__(self, name, port_a, port_b, **kwargs):
+        super().__init__(
+            name,
+            [PortPair(port_a, port_b), PortPair(port_b, port_a)],
+            cost_multiplier=1.2,
+            **kwargs,
+        )
+        self.expired = 0
+
+    def process(self, mbufs, pair):
+        out = []
+        for mbuf in mbufs:
+            ip = mbuf.packet.get(IPv4) if mbuf.packet else None
+            if ip is not None and ip.ttl <= 1:
+                self.expired += 1
+                mbuf.free()
+                continue
+            if ip is not None:
+                ip.ttl -= 1
+                mbuf.userdata = None
+            out.append(mbuf)
+        return out
+
+
+def build_graph():
+    graph = ServiceGraph("scrub-then-count")
+    graph.add_vnf(
+        "scrub", ["in", "out"],
+        app_factory=lambda pmds: TtlScrubber("scrub", pmds["in"],
+                                             pmds["out"]),
+    )
+    graph.add_vnf("count", ["in", "out"])
+    graph.connect("scrub.out", "count.in")
+    graph.connect("count.out", "scrub.in",
+                  match_fields={"eth_type": 0x0800})
+    graph.validate()
+    return graph
+
+
+class TestTutorial:
+    def test_deploys_with_one_bypass(self):
+        env = Environment()
+        node = NfvNode(env=env)
+        deployment = Orchestrator(node).deploy(build_graph())
+        assert node.active_bypasses == 1
+        link = next(iter(node.manager.active_links.values()))
+        assert link.src_port_name == "scrub.out"
+
+    def test_scrubber_behaviour_over_bypass(self):
+        env = Environment()
+        node = NfvNode(env=env)
+        deployment = Orchestrator(node).deploy(build_graph())
+        scrub = deployment.apps["scrub"]
+        ok = mk_mbuf(packet=make_udp_packet())
+        dead = mk_mbuf(packet=make_udp_packet())
+        dead.packet.get(IPv4).ttl = 1
+        # Feed the scrubber's "in" port directly (guest-side RX ring).
+        in_pmd = deployment.pmd("scrub.in")
+        in_pmd.rings.to_guest.enqueue_bulk([ok, dead])
+        scrub.iteration()
+        assert scrub.expired == 1
+        # The survivor left on scrub.out — which is bypassed, so it is
+        # already in count.in's bypass ring, TTL decremented.
+        received = deployment.pmd("count.in").rx_burst(8)
+        assert received == [ok]
+        assert received[0].packet.get(IPv4).ttl == 63
+        assert node.ports["scrub.out"].rx_packets == 0
+
+    def test_header_rewrite_invalidated_flow_key(self):
+        env = Environment()
+        node = NfvNode(env=env)
+        deployment = Orchestrator(node).deploy(build_graph())
+        mbuf = mk_mbuf(packet=make_udp_packet())
+        mbuf.userdata = "stale-sentinel"
+        deployment.pmd("scrub.in").rings.to_guest.enqueue(mbuf)
+        deployment.apps["scrub"].iteration()
+        assert mbuf.userdata is None

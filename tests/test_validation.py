@@ -1,0 +1,68 @@
+"""Tests for the host invariant checker."""
+
+import pytest
+
+from repro.orchestration import NfvNode
+from repro.orchestration.validation import (
+    InvariantViolation,
+    verify_host_invariants,
+)
+
+from tests.helpers import mk_mbuf
+
+
+def build_busy_node():
+    node = NfvNode()
+    node.create_vm("vm1", ["dpdkr0"])
+    node.create_vm("vm2", ["dpdkr1"])
+    node.create_vm("vm3", ["dpdkr2"])
+    node.install_p2p_rule("dpdkr0", "dpdkr1")
+    node.install_p2p_rule("dpdkr1", "dpdkr2")
+    node.settle_control_plane()
+    return node
+
+
+class TestVerifyHostInvariants:
+    def test_healthy_node_passes(self):
+        node = build_busy_node()
+        checks = verify_host_invariants(node)
+        assert len(checks) == 5
+
+    def test_after_traffic_and_teardown(self):
+        from repro.openflow.match import Match
+
+        node = build_busy_node()
+        node.vms["vm1"].pmd("dpdkr0").tx_burst([mk_mbuf()])
+        node.vms["vm2"].pmd("dpdkr1").rx_burst(8)
+        node.controller.delete_flow(Match(in_port=node.ofport("dpdkr0")))
+        node.settle_control_plane()
+        verify_host_invariants(node)
+
+    def test_after_vm_crash(self):
+        node = build_busy_node()
+        node.hypervisor.destroy_vm("vm2")
+        verify_host_invariants(node)
+
+    def test_highway_disabled(self):
+        node = NfvNode(highway_enabled=False)
+        checks = verify_host_invariants(node)
+        assert checks == ["highway disabled: nothing to validate"]
+
+    def test_detects_tampered_pmd(self):
+        node = build_busy_node()
+        # Sabotage: detach the PMD behind the manager's back.
+        node.vms["vm1"].pmd("dpdkr0").detach_bypass_tx()
+        with pytest.raises(InvariantViolation, match="bypass TX"):
+            verify_host_invariants(node)
+
+    def test_detects_orphan_zone(self):
+        node = build_busy_node()
+        node.registry.reserve("bypass.999.fake")
+        with pytest.raises(InvariantViolation, match="orphan"):
+            verify_host_invariants(node)
+
+    def test_detects_stale_port_flag(self):
+        node = build_busy_node()
+        node.ports["dpdkr2"].bypass_active = False  # should be True (dst)
+        with pytest.raises(InvariantViolation, match="flag"):
+            verify_host_invariants(node)

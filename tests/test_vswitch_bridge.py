@@ -1,0 +1,210 @@
+"""Bridge (ofproto) tests: controller interaction end to end over the
+wire codec."""
+
+import pytest
+
+from repro.openflow.actions import OutputAction
+from repro.openflow.controller import ControllerConnection, SimpleController
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    EchoReply,
+    FlowRemovedReason,
+    Hello,
+)
+from repro.vswitch.vswitchd import VSwitchd
+
+from tests.helpers import drain, mk_mbuf
+
+
+@pytest.fixture
+def stack():
+    connection = ControllerConnection()
+    switch = VSwitchd(connection=connection)
+    controller = SimpleController(connection)
+    return switch, controller, connection
+
+
+class TestHandshake:
+    def test_hello_features(self, stack):
+        switch, controller, _conn = stack
+        controller.handshake()
+        switch.step_control()
+        controller.poll()
+        assert controller.features is not None
+        assert controller.features.datapath_id == switch.bridge.datapath_id
+
+    def test_echo(self, stack):
+        switch, controller, connection = stack
+        controller.echo(b"ping")
+        switch.step_control()
+        reply = connection.controller_recv()
+        assert isinstance(reply, EchoReply)
+        assert reply.data == b"ping"
+
+    def test_hello_reply(self, stack):
+        switch, controller, connection = stack
+        controller.connection.controller_send(Hello())
+        switch.step_control()
+        assert isinstance(connection.controller_recv(), Hello)
+
+
+class TestFlowProgramming:
+    def test_install_and_forward(self, stack):
+        switch, controller, _conn = stack
+        a = switch.add_dpdkr_port("dpdkr0")
+        b = switch.add_dpdkr_port("dpdkr1")
+        controller.install_flow(Match(in_port=a.ofport),
+                                [OutputAction(b.ofport)])
+        switch.step_control()
+        mbuf = mk_mbuf()
+        a.rings.to_switch.enqueue(mbuf)
+        switch.step_dataplane()
+        assert drain(b.rings.to_guest) == [mbuf]
+
+    def test_delete_sends_flow_removed(self, stack):
+        switch, controller, _conn = stack
+        controller.install_flow(Match(in_port=1), [OutputAction(2)],
+                                priority=7)
+        switch.step_control()
+        controller.delete_flow(Match(in_port=1))
+        switch.step_control()
+        controller.poll()
+        assert len(controller.flow_removed) == 1
+        removed = controller.flow_removed[0]
+        assert removed.reason == FlowRemovedReason.DELETE
+        assert removed.priority == 7
+
+    def test_modify_changes_forwarding(self, stack):
+        switch, controller, _conn = stack
+        a = switch.add_dpdkr_port("dpdkr0")
+        b = switch.add_dpdkr_port("dpdkr1")
+        c = switch.add_dpdkr_port("dpdkr2")
+        controller.install_flow(Match(in_port=a.ofport),
+                                [OutputAction(b.ofport)])
+        switch.step_control()
+        controller.modify_flow(Match(in_port=a.ofport),
+                               [OutputAction(c.ofport)])
+        switch.step_control()
+        mbuf = mk_mbuf()
+        a.rings.to_switch.enqueue(mbuf)
+        switch.step_dataplane()
+        assert drain(c.rings.to_guest) == [mbuf]
+        assert drain(b.rings.to_guest) == []
+
+    def test_overlap_error_reported(self, stack):
+        switch, controller, connection = stack
+        controller.install_flow(Match(in_port=1), [OutputAction(2)],
+                                priority=5)
+        switch.step_control()
+        from repro.openflow.messages import FlowMod, FlowModCommand
+
+        overlapping = FlowMod(command=FlowModCommand.ADD, match=Match(),
+                              actions=[OutputAction(3)], priority=5,
+                              check_overlap=True)
+        connection.controller_send(overlapping)
+        switch.step_control()
+        controller.poll()
+        assert len(controller.errors) == 1
+
+
+class TestPacketPaths:
+    def test_table_miss_packet_in(self, stack):
+        switch, controller, _conn = stack
+        a = switch.add_dpdkr_port("dpdkr0")
+        mbuf = mk_mbuf(frame_size=64)
+        a.rings.to_switch.enqueue(mbuf)
+        switch.step_dataplane()
+        controller.poll()
+        assert len(controller.packet_ins) == 1
+        packet_in = controller.packet_ins[0]
+        assert packet_in.in_port == a.ofport
+        assert len(packet_in.data) == 64
+
+    def test_packet_out_reaches_port(self, stack):
+        switch, controller, _conn = stack
+        b = switch.add_dpdkr_port("dpdkr1")
+        frame = mk_mbuf(frame_size=64).packet.pack()
+        controller.packet_out(frame, [OutputAction(b.ofport)])
+        switch.step_control()
+        delivered = drain(b.rings.to_guest)
+        assert len(delivered) == 1
+        assert delivered[0].packet.pack() == frame
+
+
+class TestStats:
+    def test_flow_stats(self, stack):
+        switch, controller, _conn = stack
+        a = switch.add_dpdkr_port("dpdkr0")
+        b = switch.add_dpdkr_port("dpdkr1")
+        controller.install_flow(Match(in_port=a.ofport),
+                                [OutputAction(b.ofport)])
+        switch.step_control()
+        for _ in range(3):
+            a.rings.to_switch.enqueue(mk_mbuf(frame_size=64))
+        switch.step_dataplane()
+        controller.request_flow_stats()
+        switch.step_control()
+        controller.poll()
+        stats = controller.latest_flow_stats.stats
+        assert len(stats) == 1
+        assert stats[0].packet_count == 3
+        assert stats[0].byte_count == 192
+
+    def test_port_stats(self, stack):
+        switch, controller, _conn = stack
+        a = switch.add_dpdkr_port("dpdkr0")
+        b = switch.add_dpdkr_port("dpdkr1")
+        controller.install_flow(Match(in_port=a.ofport),
+                                [OutputAction(b.ofport)])
+        switch.step_control()
+        a.rings.to_switch.enqueue(mk_mbuf(frame_size=64))
+        switch.step_dataplane()
+        controller.request_port_stats()
+        switch.step_control()
+        controller.poll()
+        stats = {s.port_no: s for s in controller.latest_port_stats.stats}
+        assert stats[a.ofport].rx_packets == 1
+        assert stats[b.ofport].tx_packets == 1
+
+    def test_port_stats_filter(self, stack):
+        switch, controller, _conn = stack
+        a = switch.add_dpdkr_port("dpdkr0")
+        switch.add_dpdkr_port("dpdkr1")
+        controller.request_port_stats(port_no=a.ofport)
+        switch.step_control()
+        controller.poll()
+        stats = controller.latest_port_stats.stats
+        assert [s.port_no for s in stats] == [a.ofport]
+
+    def test_flow_stats_filtered_by_match(self, stack):
+        switch, controller, _conn = stack
+        controller.install_flow(Match(in_port=1), [OutputAction(2)])
+        controller.install_flow(Match(in_port=3), [OutputAction(4)])
+        switch.step_control()
+        controller.request_flow_stats(Match(in_port=1))
+        switch.step_control()
+        controller.poll()
+        stats = controller.latest_flow_stats.stats
+        assert len(stats) == 1
+        assert stats[0].match == Match(in_port=1)
+
+
+class TestExpiry:
+    def test_hard_timeout_sends_flow_removed(self):
+        from repro.sim.engine import Environment
+
+        env = Environment()
+        connection = ControllerConnection()
+        switch = VSwitchd(env=env, connection=connection)
+        controller = SimpleController(connection)
+        controller.install_flow(Match(in_port=1), [OutputAction(2)],
+                                hard_timeout=1)
+        switch.step_control()
+        assert len(switch.bridge.table) == 1
+        env.run(until=2.0)
+        switch.step_control()
+        controller.poll()
+        assert len(controller.flow_removed) == 1
+        assert (controller.flow_removed[0].reason
+                == FlowRemovedReason.HARD_TIMEOUT)
+        assert len(switch.bridge.table) == 0

@@ -1,0 +1,149 @@
+"""Unit tests for the EMC and the tuple-space classifier."""
+
+import pytest
+
+from repro.openflow.actions import OutputAction
+from repro.openflow.match import Match
+from repro.openflow.table import FlowEntry, FlowTable
+from repro.packet import extract_flow_key, make_udp_packet
+from repro.packet.headers import ETH_TYPE_IPV4, ipv4_to_int
+from repro.vswitch.classifier import TupleSpaceClassifier
+from repro.vswitch.emc import ExactMatchCache
+
+
+def key(in_port=1, **kwargs):
+    return extract_flow_key(make_udp_packet(**kwargs), in_port)
+
+
+def entry(match, out=2, priority=0x8000):
+    return FlowEntry(match, [OutputAction(out)], priority=priority)
+
+
+class TestEmc:
+    def test_miss_then_hit(self):
+        emc = ExactMatchCache()
+        k = key()
+        assert emc.lookup(k) is None
+        flow = entry(Match(in_port=1))
+        emc.insert(k, flow)
+        assert emc.lookup(k) is flow
+        assert emc.hits == 1 and emc.misses == 1
+
+    def test_generation_invalidation(self):
+        emc = ExactMatchCache()
+        k = key()
+        emc.insert(k, entry(Match(in_port=1)))
+        emc.invalidate_all()
+        assert emc.lookup(k) is None
+        assert emc.stale_hits == 1
+        assert len(emc) == 0
+
+    def test_eviction_at_capacity(self):
+        emc = ExactMatchCache(capacity=2)
+        keys = [key(src_port=1000 + i) for i in range(3)]
+        for k in keys:
+            emc.insert(k, entry(Match(in_port=1)))
+        assert emc.evictions == 1
+        assert emc.lookup(keys[0]) is None  # oldest evicted
+
+    def test_reinsert_same_key_no_eviction(self):
+        emc = ExactMatchCache(capacity=1)
+        k = key()
+        emc.insert(k, entry(Match(in_port=1)))
+        emc.insert(k, entry(Match(in_port=1)))
+        assert emc.evictions == 0
+
+    def test_hit_rate(self):
+        emc = ExactMatchCache()
+        k = key()
+        emc.lookup(k)
+        emc.insert(k, entry(Match(in_port=1)))
+        emc.lookup(k)
+        assert emc.hit_rate == 0.5
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ExactMatchCache(capacity=0)
+
+
+class TestClassifier:
+    def test_lookup_matches_table(self):
+        table = FlowTable()
+        classifier = TupleSpaceClassifier(table)
+        table.add(entry(Match(in_port=1), out=2, priority=10))
+        table.add(entry(Match(in_port=2), out=3, priority=10))
+        k = key(in_port=1)
+        assert classifier.lookup(k) is table.lookup(k)
+
+    def test_priority_across_subtables(self):
+        table = FlowTable()
+        classifier = TupleSpaceClassifier(table)
+        low = entry(Match(in_port=1), out=2, priority=5)
+        high = entry(
+            Match(in_port=1, eth_type=ETH_TYPE_IPV4), out=3, priority=50
+        )
+        table.add(low)
+        table.add(high)
+        assert classifier.lookup(key(in_port=1)) is high
+
+    def test_masked_subtable(self):
+        table = FlowTable()
+        classifier = TupleSpaceClassifier(table)
+        subnet = entry(
+            Match(eth_type=ETH_TYPE_IPV4,
+                  ip_dst=(ipv4_to_int("10.0.0.0"), 0xFF000000)),
+            out=4,
+        )
+        table.add(subnet)
+        assert classifier.lookup(key(dst_ip="10.9.9.9")) is subnet
+        assert classifier.lookup(key(dst_ip="11.0.0.1")) is None
+
+    def test_removal_tracked(self):
+        table = FlowTable()
+        classifier = TupleSpaceClassifier(table)
+        table.add(entry(Match(in_port=1), out=2))
+        table.delete(Match(in_port=1))
+        assert classifier.lookup(key(in_port=1)) is None
+        assert classifier.subtable_count == 0
+
+    def test_replace_tracked(self):
+        table = FlowTable()
+        classifier = TupleSpaceClassifier(table)
+        table.add(entry(Match(in_port=1), out=2, priority=5))
+        new = entry(Match(in_port=1), out=9, priority=5)
+        table.add(new)
+        assert classifier.lookup(key(in_port=1)) is new
+        assert len(classifier) == 1
+
+    def test_equal_priority_fifo_tiebreak_matches_table(self):
+        table = FlowTable()
+        classifier = TupleSpaceClassifier(table)
+        first = entry(Match(in_port=1), out=2, priority=7)
+        second = entry(Match(), out=3, priority=7)
+        table.add(first)
+        table.add(second)
+        k = key(in_port=1)
+        assert classifier.lookup(k) is table.lookup(k) is first
+
+    def test_wildcard_subtable(self):
+        table = FlowTable()
+        classifier = TupleSpaceClassifier(table)
+        catch_all = entry(Match(), out=9, priority=0)
+        table.add(catch_all)
+        assert classifier.lookup(key()) is catch_all
+
+    def test_max_priority_pruning_recomputed(self):
+        table = FlowTable()
+        classifier = TupleSpaceClassifier(table)
+        high = entry(Match(in_port=1), out=2, priority=100)
+        low = entry(Match(in_port=2), out=3, priority=1)
+        table.add(high)
+        table.add(low)
+        table.delete(Match(in_port=1), strict=True, priority=100)
+        assert classifier.lookup(key(in_port=2)) is low
+
+    def test_bind_existing_table(self):
+        table = FlowTable()
+        table.add(entry(Match(in_port=1), out=2))
+        classifier = TupleSpaceClassifier(table)
+        assert classifier.lookup(key(in_port=1)) is not None
