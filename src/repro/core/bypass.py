@@ -15,21 +15,37 @@ All operations run through a single FIFO worker (one compute agent, one
 request at a time), which also serializes the detect-while-establishing
 races: a link revoked mid-establishment is simply torn down right after
 it becomes active.
+
+The manager is **self-healing**: every establishment step runs under a
+timeout, failed attempts are rolled back (zones unplugged and freed,
+partially-configured PMDs detached, stranded packets accounted) and
+retried with bounded exponential backoff, links that exhaust the retry
+budget are *quarantined* — traffic stays on the switch path and the
+link is re-attempted later with growing backoff instead of being
+dropped forever — and detector churn is flap-damped so no flowmod storm
+can turn into an establishment storm.  Every recovery action is counted
+in :class:`~repro.metrics.resilience.ResilienceCounters` (see ``appctl
+bypass/faults``), and the whole machinery is exercised deterministically
+by injecting faults through :class:`~repro.faults.FaultPlan`.
 """
 
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.core.detector import P2PLink, P2PLinkDetector
 from repro.core.stats import BypassStatsBlock
 from repro.hypervisor.compute_agent import AgentRequest, ComputeAgent
-from repro.mem.memzone import Memzone, MemzoneRegistry
+from repro.mem.memzone import MemzoneError, MemzoneRegistry
 from repro.mem.ring import Ring, RingMode
+from repro.metrics.resilience import ResilienceCounters
 from repro.sim.engine import Environment
 from repro.vswitch.ports import DpdkrOvsPort
 from repro.vswitch.vswitchd import VSwitchd
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultPlan
 
 
 class LinkState(enum.Enum):
@@ -38,6 +54,47 @@ class LinkState(enum.Enum):
     ACTIVE = "active"
     TEARING_DOWN = "tearing_down"
     REMOVED = "removed"
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry/backoff knobs of the self-healing control plane.
+
+    The defaults are sized against the calibrated cost model: a clean
+    establishment takes ~100 ms (RPC + hot-plug + two serial RTTs), so a
+    250 ms step timeout only fires when something was genuinely lost.
+    """
+
+    request_timeout: float = 0.25      # per establishment attempt
+    teardown_timeout: float = 0.35     # per teardown request
+    max_attempts: int = 4              # establishment tries before quarantine
+    base_backoff: float = 0.05         # first retry delay
+    backoff_factor: float = 2.0
+    max_backoff: float = 0.4
+    quarantine_backoff: float = 0.8    # first out-of-quarantine re-attempt
+    quarantine_backoff_factor: float = 2.0
+    max_quarantine_backoff: float = 6.4
+    flap_window: float = 1.0           # seconds of detector history examined
+    flap_threshold: int = 5            # creations in window before damping
+    flap_hold: float = 0.5             # settle time before a damped admit
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before re-attempt number ``attempt + 1``."""
+        return min(
+            self.base_backoff * self.backoff_factor ** max(attempt - 1, 0),
+            self.max_backoff,
+        )
+
+    def quarantine_delay(self, failures: int) -> float:
+        return min(
+            self.quarantine_backoff
+            * self.quarantine_backoff_factor ** max(failures - 1, 0),
+            self.max_quarantine_backoff,
+        )
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
 @dataclass
@@ -45,13 +102,16 @@ class BypassLink:
     """Runtime state of one directed bypass channel."""
 
     link: P2PLink
-    zone_name: str
     src_port_name: str
     dst_port_name: str
-    ring: Ring
-    stats: BypassStatsBlock
+    # Provisioned per establishment attempt (a rolled-back attempt frees
+    # its zone; the next attempt gets a fresh one).
+    zone_name: Optional[str] = None
+    ring: Optional[Ring] = None
+    stats: Optional[BypassStatsBlock] = None
     state: LinkState = LinkState.PENDING
     revoked: bool = False          # detector withdrew it before/while active
+    attempts: int = 0              # establishment attempts consumed
     t_detected: float = 0.0
     t_active: float = 0.0
     t_teardown_started: float = 0.0
@@ -65,6 +125,15 @@ class BypassLink:
         return self.t_active - self.t_detected
 
 
+@dataclass
+class QuarantineRecord:
+    """Bookkeeping for a link held off the highway after repeated failure."""
+
+    link: P2PLink
+    failures: int = 0      # quarantine entries (grows the backoff)
+    until: float = 0.0     # earliest re-attempt time (simulated seconds)
+
+
 class BypassManager:
     """Creates and destroys bypass channels in response to detector events."""
 
@@ -75,6 +144,8 @@ class BypassManager:
         detector: P2PLinkDetector,
         env: Optional[Environment] = None,
         ring_size: int = 1024,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.vswitchd = vswitchd
         self.registry: MemzoneRegistry = vswitchd.registry
@@ -82,6 +153,9 @@ class BypassManager:
         self.detector = detector
         self.env = env
         self.ring_size = ring_size
+        self.retry_policy = retry_policy
+        self.faults = faults
+        self.resilience = ResilienceCounters()
         self._zone_serial = itertools.count(1)
         self._active: Dict[int, BypassLink] = {}   # src ofport -> link
         self.history: List[BypassLink] = []
@@ -92,6 +166,10 @@ class BypassManager:
         self._ops: List = []
         self._ops_available = None
         self._worker = None
+        # Self-healing state.
+        self._quarantine: Dict[int, QuarantineRecord] = {}
+        self._flap_history: Dict[int, List[float]] = {}
+        self._damped: Set[int] = set()
         detector.on_created.append(self._on_p2p_created)
         detector.on_removed.append(self._on_p2p_removed)
         agent.hypervisor.on_destroy.append(self._on_vm_failure)
@@ -108,6 +186,10 @@ class BypassManager:
     def active_links(self) -> Dict[int, BypassLink]:
         return dict(self._active)
 
+    @property
+    def quarantined_links(self) -> Dict[int, QuarantineRecord]:
+        return dict(self._quarantine)
+
     def link_for_src(self, src_ofport: int) -> Optional[BypassLink]:
         return self._active.get(src_ofport)
 
@@ -123,35 +205,86 @@ class BypassManager:
     def _now(self) -> float:
         return self.env.now if self.env is not None else 0.0
 
-    def _on_p2p_created(self, link: P2PLink) -> None:
+    def _eligible_ports(self, link: P2PLink):
+        """The (src, dst) DpdkrOvsPorts of an acceleratable link, or None."""
         src_port = self.vswitchd.datapath.ports.get(link.src_ofport)
         dst_port = self.vswitchd.datapath.ports.get(link.dst_ofport)
         if not isinstance(src_port, DpdkrOvsPort) or not isinstance(
             dst_port, DpdkrOvsPort
         ):
-            return  # only dpdkr-to-dpdkr connections are accelerated
+            return None  # only dpdkr-to-dpdkr connections are accelerated
         if not (self.agent.is_port_alive(src_port.name)
                 and self.agent.is_port_alive(dst_port.name)):
-            return  # endpoint VM unknown or dead: leave it on the switch
-        zone_name = "bypass.%d.%s-%s" % (
-            next(self._zone_serial), src_port.name, dst_port.name
-        )
-        zone = self.registry.reserve(zone_name, owner="ovs")
-        ring = zone.put("ring", Ring(
-            "%s.ring" % zone_name, self.ring_size, RingMode.SP_SC,
-            watermark=(self.ring_size * 3) // 4,
-        ))
-        stats = zone.put("stats", BypassStatsBlock(
-            zone_name, link.src_ofport, link.dst_ofport
-        ))
-        self.stats_blocks.append(stats)
+            return None  # endpoint VM unknown or dead: leave it on the switch
+        return src_port, dst_port
+
+    def _on_p2p_created(self, link: P2PLink) -> None:
+        if self._eligible_ports(link) is None:
+            return
+        key = link.src_ofport
+        if key in self._quarantine:
+            if self.env is not None:
+                # The quarantine's scheduled re-attempt owns re-admission;
+                # detector churn must not short-circuit the backoff.
+                return
+            # Sync mode has no clock to schedule with: the next detector
+            # event *is* the re-attempt trigger.
+            self.resilience.quarantine_reattempts += 1
+        if self._flap_damped(key):
+            return
+        self._admit_link(link)
+
+    def _flap_damped(self, key: int) -> bool:
+        """Record a creation event; True when the link is churning too
+        fast and admission was deferred to the damper."""
+        if self.env is None:
+            return False  # no clock to measure churn against
+        now = self._now()
+        window = self.retry_policy.flap_window
+        history = self._flap_history.setdefault(key, [])
+        history.append(now)
+        while history and history[0] < now - window:
+            history.pop(0)
+        if len(history) <= self.retry_policy.flap_threshold:
+            return False
+        self.resilience.flaps_damped += 1
+        if key not in self._damped:
+            self._damped.add(key)
+            self.env.process(self._damped_admit(key),
+                             name="bypass.damper.%d" % key)
+        return True
+
+    def _damped_admit(self, key: int):
+        """After the hold time, admit whatever link the detector holds now.
+
+        A previous admission may still be winding down (revoked, waiting
+        for the serialized worker to finish its establish + teardown);
+        in that case hold again rather than dropping the current rule on
+        the floor — the damper owns admission until the key is clean.
+        """
+        while True:
+            yield self.env.timeout(self.retry_policy.flap_hold)
+            current = self.detector.link_for(key)
+            if current is None or key in self._quarantine:
+                break  # rule gone, or quarantine owns re-admission
+            old = self._active.get(key)
+            if old is not None:
+                if old.link == current and not old.revoked:
+                    break  # the surviving rule is already being served
+                continue  # stale link still tearing down: hold again
+            self._admit_link(current)
+            break
+        self._damped.discard(key)
+
+    def _admit_link(self, link: P2PLink) -> None:
+        ports = self._eligible_ports(link)
+        if ports is None:
+            return
+        src_port, dst_port = ports
         bypass_link = BypassLink(
             link=link,
-            zone_name=zone_name,
             src_port_name=src_port.name,
             dst_port_name=dst_port.name,
-            ring=ring,
-            stats=stats,
             t_detected=self._now(),
         )
         self._active[link.src_ofport] = bypass_link
@@ -159,6 +292,15 @@ class BypassManager:
         self._enqueue_op(("establish", bypass_link))
 
     def _on_p2p_removed(self, link: P2PLink) -> None:
+        record = self._quarantine.get(link.src_ofport)
+        if record is not None and record.link == link and \
+                self.env is not None:
+            # The rule that kept failing is gone; stop re-attempting
+            # (the scheduled re-attempt notices and drops the record
+            # too, whichever runs first).  Sync mode has no scheduled
+            # re-attempt, so there the record must survive removal:
+            # a re-created rule is the only re-attempt trigger it has.
+            del self._quarantine[link.src_ofport]
         bypass_link = self._active.get(link.src_ofport)
         if bypass_link is None or bypass_link.link != link:
             return
@@ -192,10 +334,48 @@ class BypassManager:
             else:
                 yield from self._teardown_sim(bypass_link)
 
+    # provisioning --------------------------------------------------------------------
+
+    def _provision(self, bypass_link: BypassLink) -> Optional[str]:
+        """Reserve a fresh zone + ring + stats block for one attempt.
+
+        Returns an error string on failure (nothing was allocated).
+        """
+        zone_name = "bypass.%d.%s-%s" % (
+            next(self._zone_serial),
+            bypass_link.src_port_name, bypass_link.dst_port_name,
+        )
+        try:
+            zone = self.registry.reserve(zone_name, owner="ovs")
+        except MemzoneError as error:
+            return str(error)
+        ring = zone.put("ring", Ring(
+            "%s.ring" % zone_name, self.ring_size, RingMode.SP_SC,
+            watermark=(self.ring_size * 3) // 4,
+        ))
+        stats = zone.put("stats", BypassStatsBlock(
+            zone_name, bypass_link.link.src_ofport,
+            bypass_link.link.dst_ofport,
+        ))
+        self.stats_blocks.append(stats)
+        bypass_link.zone_name = zone_name
+        bypass_link.ring = ring
+        bypass_link.stats = stats
+        return None
+
     # establish -----------------------------------------------------------------------
 
     def _establish_sim(self, bypass_link: BypassLink):
+        policy = self.retry_policy
         bypass_link.state = LinkState.ESTABLISHING
+        bypass_link.attempts += 1
+        if bypass_link.ring is None:
+            error = self._provision(bypass_link)
+            if error is not None:
+                self.resilience.provision_failures += 1
+                self._attempt_failed(bypass_link)
+                return
+        self.resilience.establish_attempts += 1
         request = self.agent.setup_bypass(
             bypass_link.src_port_name,
             bypass_link.dst_port_name,
@@ -203,38 +383,149 @@ class BypassManager:
             flow_id=bypass_link.link.flow_id,
         )
         bypass_link.setup_request = request
-        yield request.done_event
-        if request.error is not None:
-            # A VM died while we were establishing: abort and clean up.
-            self._abort_establishment(bypass_link)
+        yield self.env.any_of([
+            request.done_event,
+            self.env.timeout(policy.request_timeout),
+        ])
+        if request.completed and request.error is None:
+            self._mark_active(bypass_link)
+            if bypass_link.revoked:
+                # Withdrawn while we were establishing: undo immediately.
+                yield from self._teardown_sim(bypass_link)
             return
-        self._mark_active(bypass_link)
-        if bypass_link.revoked:
-            # Withdrawn while we were establishing: undo immediately.
-            yield from self._teardown_sim(bypass_link)
+        if not request.completed:
+            # Some step was silently lost: give up on the request and
+            # reclaim whatever it plugged before going dark.
+            self.resilience.timeouts += 1
+            self.agent.cancel(
+                request,
+                "establishment exceeded %.3fs" % policy.request_timeout,
+            )
+        else:
+            self.resilience.rpc_errors += 1
+        self._rollback_partial(bypass_link)
+        self._attempt_failed(bypass_link)
 
     def _run_op_sync(self, op) -> None:
         kind, bypass_link = op
         if kind == "establish":
-            bypass_link.state = LinkState.ESTABLISHING
-            bypass_link.setup_request = self.agent.setup_bypass(
-                bypass_link.src_port_name,
-                bypass_link.dst_port_name,
-                bypass_link.zone_name,
-                flow_id=bypass_link.link.flow_id,
-            )
-            self._mark_active(bypass_link)
-            if bypass_link.revoked:
-                self._run_op_sync(("teardown", bypass_link))
+            self._establish_once_sync(bypass_link)
         else:
             self._do_teardown_sync(bypass_link)
+
+    def _establish_once_sync(self, bypass_link: BypassLink) -> None:
+        bypass_link.state = LinkState.ESTABLISHING
+        bypass_link.attempts += 1
+        if bypass_link.ring is None:
+            error = self._provision(bypass_link)
+            if error is not None:
+                self.resilience.provision_failures += 1
+                self._attempt_failed(bypass_link)
+                return
+        self.resilience.establish_attempts += 1
+        request = self.agent.setup_bypass(
+            bypass_link.src_port_name,
+            bypass_link.dst_port_name,
+            bypass_link.zone_name,
+            flow_id=bypass_link.link.flow_id,
+        )
+        bypass_link.setup_request = request
+        if request.error is not None:
+            # The agent aborted partway (fault injection, dead VM): the
+            # link must not go ACTIVE on a half-configured channel.
+            self.resilience.rpc_errors += 1
+            self._rollback_partial(bypass_link)
+            self._attempt_failed(bypass_link)
+            return
+        self._mark_active(bypass_link)
+        if bypass_link.revoked:
+            self._run_op_sync(("teardown", bypass_link))
+
+    def _attempt_failed(self, bypass_link: BypassLink) -> None:
+        """Decide what a failed attempt becomes: retry, quarantine, abort."""
+        if bypass_link.revoked or not self._endpoints_alive(bypass_link):
+            self.resilience.links_abandoned += 1
+            self._abort_establishment(bypass_link)
+            return
+        if bypass_link.attempts >= self.retry_policy.max_attempts:
+            self._enter_quarantine(bypass_link)
+            return
+        self.resilience.retries += 1
+        if self.env is None:
+            # No clock to back off against: re-attempt immediately.
+            self._run_op_sync(("establish", bypass_link))
+        else:
+            self.env.process(
+                self._retry_later(bypass_link),
+                name="bypass.retry.%d" % bypass_link.link.src_ofport,
+            )
+
+    def _retry_later(self, bypass_link: BypassLink):
+        yield self.env.timeout(
+            self.retry_policy.retry_delay(bypass_link.attempts)
+        )
+        if bypass_link.revoked or not self._endpoints_alive(bypass_link):
+            self.resilience.links_abandoned += 1
+            self._abort_establishment(bypass_link)
+            return
+        self._enqueue_op(("establish", bypass_link))
+
+    def _endpoints_alive(self, bypass_link: BypassLink) -> bool:
+        return (self.agent.is_port_alive(bypass_link.src_port_name)
+                and self.agent.is_port_alive(bypass_link.dst_port_name))
 
     def _mark_active(self, bypass_link: BypassLink) -> None:
         bypass_link.state = LinkState.ACTIVE
         bypass_link.t_active = self._now()
+        if (bypass_link.attempts > 1
+                or bypass_link.link.src_ofport in self._quarantine):
+            self.resilience.links_recovered += 1
+        self._quarantine.pop(bypass_link.link.src_ofport, None)
         self._update_port_flags()
         for callback in self.on_link_active:
             callback(bypass_link)
+
+    # quarantine ------------------------------------------------------------------------
+
+    def _enter_quarantine(self, bypass_link: BypassLink) -> None:
+        """The retry budget is spent: degrade to the switch path.
+
+        The link keeps forwarding through the vSwitch exactly as before
+        detection; establishment is re-attempted after a (growing)
+        backoff rather than abandoned outright.
+        """
+        key = bypass_link.link.src_ofport
+        record = self._quarantine.get(key)
+        if record is None:
+            record = QuarantineRecord(link=bypass_link.link)
+            self._quarantine[key] = record
+        record.link = bypass_link.link
+        record.failures += 1
+        self.resilience.quarantines += 1
+        self.failed_links.append(bypass_link)
+        self._finish_teardown(bypass_link)
+        bypass_link.state = LinkState.QUARANTINED
+        if self.env is not None:
+            delay = self.retry_policy.quarantine_delay(record.failures)
+            record.until = self._now() + delay
+            self.env.process(
+                self._quarantine_reattempt(key, record, delay),
+                name="bypass.quarantine.%d" % key,
+            )
+
+    def _quarantine_reattempt(self, key: int, record: QuarantineRecord,
+                              delay: float):
+        yield self.env.timeout(delay)
+        if self._quarantine.get(key) is not record:
+            return  # cleared (rule removed, or the link recovered)
+        current = self.detector.link_for(key)
+        if current is None:
+            del self._quarantine[key]
+            return
+        if key in self._active:
+            return
+        self.resilience.quarantine_reattempts += 1
+        self._admit_link(current)
 
     # teardown ------------------------------------------------------------------------
 
@@ -249,52 +540,155 @@ class BypassManager:
             ring=bypass_link.ring,
         )
         bypass_link.teardown_request = request
-        yield request.done_event
+        yield self.env.any_of([
+            request.done_event,
+            self.env.timeout(self.retry_policy.teardown_timeout),
+        ])
+        if not request.completed:
+            self.resilience.timeouts += 1
+            self.resilience.teardown_failures += 1
+            self.agent.cancel(
+                request,
+                "teardown exceeded %.3fs" % self.retry_policy.teardown_timeout,
+            )
+            self._janitor_teardown(bypass_link)
+        elif request.error is not None:
+            self.resilience.teardown_failures += 1
+            self._janitor_teardown(bypass_link)
         self._finish_teardown(bypass_link)
 
     def _do_teardown_sync(self, bypass_link: BypassLink) -> None:
         if bypass_link.state != LinkState.ACTIVE:
             return
         bypass_link.state = LinkState.TEARING_DOWN
-        bypass_link.teardown_request = self.agent.teardown_bypass(
+        request = self.agent.teardown_bypass(
             bypass_link.src_port_name,
             bypass_link.dst_port_name,
             bypass_link.zone_name,
             ring=bypass_link.ring,
         )
+        bypass_link.teardown_request = request
+        if request.error is not None:
+            self.resilience.teardown_failures += 1
+            self._janitor_teardown(bypass_link)
         self._finish_teardown(bypass_link)
 
-    def _abort_establishment(self, bypass_link: BypassLink) -> None:
-        """Clean up a link whose establishment failed (endpoint died).
+    # failure cleanup -------------------------------------------------------------------
 
-        The surviving VM may have had the zone plugged and its RX side
-        configured before the failure; undo whatever exists.
+    def _try_direct_command(self, port_name: str, command: str,
+                            zone_name: Optional[str], role: str) -> None:
+        """Best-effort direct PMD command for rollback/janitor paths.
+
+        Delivered host-side (no serial channel, no fault injection); a
+        guest that never reached the state being undone simply rejects
+        the command, which is exactly the don't-care case.
         """
         from repro.dpdk.virtio_serial import ControlMessage
 
-        request = bypass_link.setup_request
-        zone = self.registry.lookup(bypass_link.zone_name)
-        if request is not None and request.t_rx_configured:
-            if self.agent.is_port_alive(bypass_link.dst_port_name):
-                self._direct_pmd_command(
-                    bypass_link.dst_port_name, ControlMessage(
-                        "detach_bypass",
-                        {"request_id": -1,
-                         "port_name": bypass_link.dst_port_name,
-                         "zone_name": bypass_link.zone_name,
-                         "role": "rx"},
+        if not self.agent.is_port_alive(port_name):
+            return
+        vm = self.agent.hypervisor.vms.get(self.agent.owner_of(port_name))
+        if vm is None:
+            return
+        try:
+            vm.serial.guest_handler(ControlMessage(command, {
+                "request_id": -1,
+                "port_name": port_name,
+                "zone_name": zone_name,
+                "role": role,
+            }))
+        except Exception:  # noqa: BLE001 - nothing was attached: done
+            pass
+
+    def _rollback_partial(self, bypass_link: BypassLink) -> None:
+        """Undo whatever a failed establishment attempt left behind.
+
+        The attempt may have died at any step: zones plugged into one or
+        both VMs, the receiver configured, even the sender configured
+        with only the completion reply lost.  Detach both PMD sides,
+        count and free any packets stranded in the attempt's ring,
+        unplug surviving mappings and release the zone.  Idempotent —
+        abort paths may run it after a retry path already has.
+        """
+        self.resilience.rollbacks += 1
+        # Detach before unplugging: the receiver resolves the ring
+        # through the still-mapped zone.
+        self._try_direct_command(bypass_link.dst_port_name, "detach_bypass",
+                                 bypass_link.zone_name, "rx")
+        self._try_direct_command(bypass_link.src_port_name, "detach_bypass",
+                                 bypass_link.zone_name, "tx")
+        if bypass_link.ring is not None:
+            for mbuf in bypass_link.ring.drain():
+                # The sender reached the bypass before the attempt was
+                # abandoned; with the receiver detached these packets
+                # are unrecoverable.
+                self.packets_lost_to_failures += 1
+                mbuf.free()
+        if (bypass_link.zone_name is not None
+                and bypass_link.zone_name in self.registry):
+            zone = self.registry.lookup(bypass_link.zone_name)
+            for port_name in (bypass_link.src_port_name,
+                              bypass_link.dst_port_name):
+                owner = self.agent.owner_of(port_name)
+                if owner in zone.mapped_by and owner in \
+                        self.agent.hypervisor.vms:
+                    self.agent.hypervisor.force_unplug(
+                        owner, bypass_link.zone_name
                     )
-                )
-        for port_name in (bypass_link.src_port_name,
-                          bypass_link.dst_port_name):
-            owner = self.agent.owner_of(port_name)
-            if owner in zone.mapped_by and owner in \
-                    self.agent.hypervisor.vms:
-                self.agent.hypervisor.force_unplug(
-                    owner, bypass_link.zone_name
-                )
+            if not zone.mapped_by:
+                self.registry.free(bypass_link.zone_name)
+                if (bypass_link.stats is not None
+                        and bypass_link.stats.tx_packets == 0
+                        and bypass_link.stats in self.stats_blocks):
+                    # The attempt carried nothing; no counters to retain.
+                    self.stats_blocks.remove(bypass_link.stats)
+        # Force the next attempt to provision afresh.
+        bypass_link.ring = None
+
+    def _abort_establishment(self, bypass_link: BypassLink) -> None:
+        """Terminal cleanup of a link whose establishment will not be
+        retried (endpoint died, or the detector revoked it)."""
+        self._rollback_partial(bypass_link)
         self.failed_links.append(bypass_link)
         self._finish_teardown(bypass_link)
+
+    def _janitor_teardown(self, bypass_link: BypassLink) -> None:
+        """Forcibly dismantle a channel whose orderly teardown failed.
+
+        Ordering is best-effort at this point; the priority is that no
+        guest keeps a mapping and no PMD stays wedged on a dead channel.
+        """
+        self._try_direct_command(bypass_link.src_port_name, "detach_bypass",
+                                 bypass_link.zone_name, "tx")
+        self._try_direct_command(bypass_link.src_port_name, "resume_tx",
+                                 bypass_link.zone_name, "tx")
+        self._try_direct_command(bypass_link.dst_port_name, "detach_bypass",
+                                 bypass_link.zone_name, "rx")
+        leftovers = (bypass_link.ring.drain()
+                     if bypass_link.ring is not None else [])
+        if leftovers:
+            salvaged = 0
+            if self.agent.is_port_alive(bypass_link.dst_port_name):
+                from repro.dpdk.dpdkr import dpdkr_zone_name
+
+                zone = self.registry.lookup(
+                    dpdkr_zone_name(bypass_link.dst_port_name)
+                )
+                salvaged = zone.get("rx").enqueue_burst(leftovers)
+            for mbuf in leftovers[salvaged:]:
+                self.packets_lost_to_failures += 1
+                mbuf.free()
+        if (bypass_link.zone_name is not None
+                and bypass_link.zone_name in self.registry):
+            zone = self.registry.lookup(bypass_link.zone_name)
+            for port_name in (bypass_link.src_port_name,
+                              bypass_link.dst_port_name):
+                owner = self.agent.owner_of(port_name)
+                if owner in zone.mapped_by and owner in \
+                        self.agent.hypervisor.vms:
+                    self.agent.hypervisor.force_unplug(
+                        owner, bypass_link.zone_name
+                    )
 
     def _finish_teardown(self, bypass_link: BypassLink) -> None:
         bypass_link.state = LinkState.REMOVED
@@ -302,11 +696,13 @@ class BypassManager:
         current = self._active.get(bypass_link.link.src_ofport)
         if current is bypass_link:
             del self._active[bypass_link.link.src_ofport]
-        zone = self.registry.lookup(bypass_link.zone_name)
-        if not zone.mapped_by:
-            self.registry.free(bypass_link.zone_name)
-        # else: a mapping survived an abnormal path; the zone stays
-        # allocated rather than yanking memory from under a guest.
+        if (bypass_link.zone_name is not None
+                and bypass_link.zone_name in self.registry):
+            zone = self.registry.lookup(bypass_link.zone_name)
+            if not zone.mapped_by:
+                self.registry.free(bypass_link.zone_name)
+            # else: a mapping survived an abnormal path; the zone stays
+            # allocated rather than yanking memory from under a guest.
         self._update_port_flags()
         for callback in self.on_link_removed:
             callback(bypass_link)
@@ -350,7 +746,8 @@ class BypassManager:
         bypass_link.t_teardown_started = self._now()
 
         was_established = (bypass_link.setup_request is not None
-                           and bypass_link.setup_request.completed)
+                           and bypass_link.setup_request.completed
+                           and bypass_link.setup_request.error is None)
         if not src_dead and was_established:
             self._direct_pmd_command(
                 bypass_link.src_port_name, ControlMessage(

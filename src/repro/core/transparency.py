@@ -16,9 +16,11 @@ Two pieces:
   counterpart of applying the paper's patches to OVS.
 """
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.core.bypass import BypassManager
+from repro.core.bypass import (
+    BypassManager, DEFAULT_RETRY_POLICY, RetryPolicy,
+)
 from repro.core.detector import P2PLinkDetector
 from repro.hypervisor.compute_agent import ComputeAgent
 from repro.openflow.table import FlowEntry
@@ -27,6 +29,9 @@ from repro.sim.engine import Environment
 from repro.vswitch.bridge import StatsAugmentor
 from repro.vswitch.ports import DpdkrOvsPort
 from repro.vswitch.vswitchd import VSwitchd
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultPlan
 
 
 class BypassStatsAugmentor(StatsAugmentor):
@@ -62,6 +67,8 @@ def enable_transparent_highway(
     agent: ComputeAgent,
     env: Optional[Environment] = None,
     ring_size: int = 1024,
+    retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    faults: Optional["FaultPlan"] = None,
 ) -> BypassManager:
     """Retrofit ``vswitchd`` with the paper's transparent highway.
 
@@ -87,7 +94,8 @@ def enable_transparent_highway(
     detector = P2PLinkDetector(vswitchd.bridge.table,
                                is_eligible_port=is_eligible)
     manager = BypassManager(vswitchd, agent, detector, env=env,
-                            ring_size=ring_size)
+                            ring_size=ring_size,
+                            retry_policy=retry_policy, faults=faults)
     vswitchd.bridge.stats_augmentor = BypassStatsAugmentor(manager)
     # Mirror/policer/port-state changes alter port eligibility without
     # touching the flow table; re-analyse so links appear/disappear.

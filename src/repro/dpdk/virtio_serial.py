@@ -7,9 +7,12 @@ channel degrades to synchronous delivery (handy in unit tests).
 """
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.sim.engine import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultPlan
 
 
 @dataclass
@@ -37,14 +40,17 @@ class VirtioSerial:
         name: str,
         env: Optional[Environment] = None,
         one_way_latency: float = 0.009,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.name = name
         self.env = env
         self.one_way_latency = one_way_latency
+        self.faults = faults
         self.guest_handler: Optional[Handler] = None
         self.host_handler: Optional[Handler] = None
         self.to_guest_log: List[ControlMessage] = []
         self.to_host_log: List[ControlMessage] = []
+        self.dropped_messages = 0
 
     # -- sending ------------------------------------------------------------
 
@@ -61,17 +67,58 @@ class VirtioSerial:
     # -- plumbing ---------------------------------------------------------------
 
     def _deliver(self, message: ControlMessage, *, to_guest: bool) -> None:
+        extra_delay = 0.0
+        if self.faults is not None:
+            from repro.faults import (
+                SERIAL_TO_GUEST, SERIAL_TO_HOST, FaultMode,
+            )
+
+            point = SERIAL_TO_GUEST if to_guest else SERIAL_TO_HOST
+            action = self.faults.fire(point)
+            if action is not None:
+                if action.mode in (FaultMode.DROP, FaultMode.CRASH):
+                    # The message vanishes in transit; the sender only
+                    # recovers through its own timeout.
+                    self.dropped_messages += 1
+                    return
+                if action.mode is FaultMode.DELAY:
+                    extra_delay = action.delay
+                elif action.mode is FaultMode.ERROR:
+                    # Corrupted in transit: the receiver sees an explicit
+                    # error carrying the same request id, so request/
+                    # response correlation still works and the sender
+                    # gets a prompt NACK instead of a silent loss.
+                    message = ControlMessage("error", {
+                        "request_id": message.args.get("request_id"),
+                        "reason": action.message,
+                    })
         if self.env is None:
             self._dispatch(message, to_guest=to_guest)
             return
         self.env.process(
-            self._delayed_dispatch(message, to_guest),
+            self._delayed_dispatch(message, to_guest, extra_delay),
             name="%s.deliver" % self.name,
         )
 
-    def _delayed_dispatch(self, message: ControlMessage, to_guest: bool):
-        yield self.env.timeout(self.one_way_latency)
-        self._dispatch(message, to_guest=to_guest)
+    def _delayed_dispatch(self, message: ControlMessage, to_guest: bool,
+                          extra_delay: float = 0.0):
+        yield self.env.timeout(self.one_way_latency + extra_delay)
+        try:
+            self._dispatch(message, to_guest=to_guest)
+        except Exception as error:  # noqa: BLE001 - NACK, don't crash
+            # The receiver rejected the command — typically a straggler
+            # referring to state (a zone, an attachment) that was rolled
+            # back while the message was in flight.  Surface a NACK to
+            # the sender; crashing the channel would take the simulated
+            # host down with it.
+            reply = ControlMessage("error", {
+                "request_id": message.args.get("request_id"),
+                "reason": str(error),
+            })
+            if to_guest:
+                self.guest_send(reply)
+            else:
+                self.host_send(reply)
 
     def _dispatch(self, message: ControlMessage, *, to_guest: bool) -> None:
         handler = self.guest_handler if to_guest else self.host_handler

@@ -22,7 +22,7 @@ bypass) reads those timestamps.
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.dpdk.virtio_serial import ControlMessage
 from repro.hypervisor.qemu import Hypervisor, HypervisorError, VirtualMachine
@@ -30,7 +30,14 @@ from repro.mem.ring import Ring
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import Environment, Event
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultPlan
+
 _request_ids = itertools.count(1)
+
+
+class RequestCancelled(RuntimeError):
+    """Raised inside an in-flight request whose caller gave up on it."""
 
 
 @dataclass
@@ -52,7 +59,8 @@ class AgentRequest:
     t_completed: float = 0.0
     salvaged_packets: int = 0
     completed: bool = False
-    error: Optional[str] = None   # set when the request aborted (VM died)
+    error: Optional[str] = None   # set when the request aborted
+    cancelled: bool = False       # the caller timed out and moved on
     done_event: Optional[Event] = None
 
     @property
@@ -69,12 +77,18 @@ class ComputeAgent:
         hypervisor: Hypervisor,
         env: Optional[Environment] = None,
         costs: CostModel = DEFAULT_COST_MODEL,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.hypervisor = hypervisor
         self.env = env
         self.costs = costs
+        self.faults = faults
         self._port_owner: Dict[str, str] = {}
         self._pending_replies: Dict[int, Event] = {}
+        # Sync mode: replies actually *delivered* back to the host,
+        # keyed by reply id (a dropped reply never lands here even
+        # though the send was logged).
+        self._sync_replies: Dict[int, ControlMessage] = {}
         self._reply_serial = itertools.count(1)
         self.requests: list = []
         self.dead_vms: set = set()
@@ -104,6 +118,10 @@ class ComputeAgent:
         """
         self._port_owner[port_name] = vm_name
         vm = self.hypervisor.vms.get(vm_name)
+        if vm is not None and vm.running:
+            # A replacement VM may reuse the name of a crashed one; the
+            # re-registration is how the agent learns it came back.
+            self.dead_vms.discard(vm_name)
         if vm is not None and vm.serial.host_handler is None:
             vm.serial.host_handler = self._on_guest_reply
 
@@ -141,7 +159,11 @@ class ComputeAgent:
         request = self._new_request("setup", src_port_name, dst_port_name,
                                     zone_name, flow_id=flow_id)
         if self.env is None:
-            self._setup_sync(request)
+            try:
+                self._setup_sync(request)
+            except Exception as error:  # noqa: BLE001 - surfaced via .error
+                request.error = str(error)
+                request.completed = True
         else:
             self.env.process(self._setup_process(request),
                              name="agent.setup.%d" % request.request_id)
@@ -158,7 +180,11 @@ class ComputeAgent:
         request = self._new_request("teardown", src_port_name,
                                     dst_port_name, zone_name)
         if self.env is None:
-            self._teardown_sync(request, ring)
+            try:
+                self._teardown_sync(request, ring)
+            except Exception as error:  # noqa: BLE001 - surfaced via .error
+                request.error = str(error)
+                request.completed = True
         else:
             self.env.process(self._teardown_process(request, ring),
                              name="agent.teardown.%d" % request.request_id)
@@ -186,34 +212,97 @@ class ComputeAgent:
     def _vm_of(self, port_name: str) -> VirtualMachine:
         return self.hypervisor.vms[self.owner_of(port_name)]
 
+    # -- cancellation and fault hooks ----------------------------------------
+
+    def cancel(self, request: AgentRequest, reason: str) -> None:
+        """Give up on an in-flight request (the caller's step timed out).
+
+        The request's process aborts at its next resumption instead of
+        performing further side effects; work already done is the
+        caller's to roll back.
+        """
+        request.cancelled = True
+        if request.error is None:
+            request.error = "cancelled: %s" % reason
+
+    @staticmethod
+    def _check_cancel(request: AgentRequest) -> None:
+        if request.cancelled:
+            raise RequestCancelled(request.error or "request cancelled")
+
+    def _inject(self, point: str, sync: bool = False):
+        """Fire the fault plan at an agent RPC point.
+
+        Simulation mode: a generator to ``yield from``.  DROP parks the
+        request forever (only the caller's timeout recovers), DELAY
+        stretches it, ERROR/CRASH raise.  Sync mode surfaces DROP as an
+        error because nothing can hang synchronously.
+        """
+        if self.faults is None:
+            return () if sync else iter(())
+        from repro.faults import FaultMode
+
+        action = self.faults.fire(point)
+        if action is None:
+            return () if sync else iter(())
+        if action.mode in (FaultMode.ERROR, FaultMode.CRASH):
+            raise HypervisorError(action.message)
+        if sync:
+            if action.mode is FaultMode.DROP:
+                raise HypervisorError(action.message)
+            return ()  # DELAY without a clock is a no-op
+
+        def _effects():
+            if action.mode is FaultMode.DELAY:
+                yield self.env.timeout(action.delay)
+            elif action.mode is FaultMode.DROP:
+                yield self.env.event()  # never fires
+
+        return _effects()
+
+    @staticmethod
+    def _check_reply(reply) -> None:
+        """Fail the request when the guest NACKed a PMD command."""
+        if isinstance(reply, ControlMessage) and reply.command == "error":
+            raise HypervisorError(
+                "PMD rejected command: %s"
+                % reply.args.get("reason", "unknown error")
+            )
+
     # -- synchronous execution (unit tests, env-less deployments) ------------------
 
     def _setup_sync(self, request: AgentRequest) -> None:
+        self._inject("agent.rpc.send", sync=True)
         for port_name in (request.src_port_name, request.dst_port_name):
             self.hypervisor.plug_ivshmem(self.owner_of(port_name),
                                          request.zone_name)
-        self._send_pmd_command(self._vm_of(request.dst_port_name),
-                               "attach_bypass", request.dst_port_name,
-                               request, role="rx")
-        self._send_pmd_command(self._vm_of(request.src_port_name),
-                               "attach_bypass", request.src_port_name,
-                               request, role="tx")
+        self._send_pmd_command_checked(
+            self._vm_of(request.dst_port_name), "attach_bypass",
+            request.dst_port_name, request, role="rx")
+        request.t_rx_configured = self._now()
+        self._send_pmd_command_checked(
+            self._vm_of(request.src_port_name), "attach_bypass",
+            request.src_port_name, request, role="tx")
+        request.t_tx_configured = self._now()
+        self._inject("agent.rpc.reply", sync=True)
         request.completed = True
 
     def _teardown_sync(self, request: AgentRequest, ring: Ring) -> None:
-        self._send_pmd_command(self._vm_of(request.src_port_name),
-                               "detach_bypass", request.src_port_name,
-                               request, role="tx", stall=True)
-        self._send_pmd_command(self._vm_of(request.dst_port_name),
-                               "detach_bypass", request.dst_port_name,
-                               request, role="rx")
+        self._inject("agent.rpc.send", sync=True)
+        self._send_pmd_command_checked(
+            self._vm_of(request.src_port_name), "detach_bypass",
+            request.src_port_name, request, role="tx", stall=True)
+        self._send_pmd_command_checked(
+            self._vm_of(request.dst_port_name), "detach_bypass",
+            request.dst_port_name, request, role="rx")
         request.salvaged_packets = self._salvage(request, ring)
-        self._send_pmd_command(self._vm_of(request.src_port_name),
-                               "resume_tx", request.src_port_name,
-                               request, role="tx")
+        self._send_pmd_command_checked(
+            self._vm_of(request.src_port_name), "resume_tx",
+            request.src_port_name, request, role="tx")
         for port_name in (request.src_port_name, request.dst_port_name):
             self.hypervisor.unplug_ivshmem(self.owner_of(port_name),
                                            request.zone_name)
+        self._inject("agent.rpc.reply", sync=True)
         request.completed = True
 
     def _salvage(self, request: AgentRequest, ring: Ring) -> int:
@@ -245,7 +334,9 @@ class ComputeAgent:
     def _setup_steps(self, request: AgentRequest):
         env = self.env
         # 1. The OVS -> agent RPC itself.
+        yield from self._inject("agent.rpc.send")
         yield env.timeout(self.costs.agent_rpc)
+        self._check_cancel(request)
         request.t_rpc_done = env.now
         # 2. ivshmem hot-plug into both VMs, in parallel.
         plugs = [
@@ -254,19 +345,27 @@ class ComputeAgent:
             for port_name in (request.src_port_name, request.dst_port_name)
         ]
         yield env.all_of(plugs)
+        self._check_cancel(request)
         request.t_zones_plugged = env.now
         # 3. Receiver PMD first: make-before-break.
-        yield self._pmd_command_event(
+        reply = yield self._pmd_command_event(
             self._vm_of(request.dst_port_name), "attach_bypass",
             request.dst_port_name, request, role="rx",
         )
+        self._check_cancel(request)
+        self._check_reply(reply)
         request.t_rx_configured = env.now
         # 4. Sender PMD: from the next poll iteration, TX rides the bypass.
-        yield self._pmd_command_event(
+        reply = yield self._pmd_command_event(
             self._vm_of(request.src_port_name), "attach_bypass",
             request.src_port_name, request, role="tx",
         )
+        self._check_cancel(request)
+        self._check_reply(reply)
         request.t_tx_configured = env.now
+        # 5. The agent -> OVS completion reply.
+        yield from self._inject("agent.rpc.reply")
+        self._check_cancel(request)
         request.t_completed = env.now
         request.completed = True
         request.done_event.succeed(request)
@@ -289,37 +388,47 @@ class ComputeAgent:
         nothing.
         """
         env = self.env
+        yield from self._inject("agent.rpc.send")
         yield env.timeout(self.costs.agent_rpc)
+        self._check_cancel(request)
         request.t_rpc_done = env.now
         # 1. Sender off the bypass, stalled until the handover is done —
         #    the still-attached receiver keeps draining the ring in the
         #    meantime, shrinking the salvage.
-        yield self._pmd_command_event(
+        reply = yield self._pmd_command_event(
             self._vm_of(request.src_port_name), "detach_bypass",
             request.src_port_name, request, role="tx", stall=True,
         )
+        self._check_cancel(request)
+        self._check_reply(reply)
         request.t_tx_configured = env.now
         # 2. Receiver stops polling the bypass ring.
-        yield self._pmd_command_event(
+        reply = yield self._pmd_command_event(
             self._vm_of(request.dst_port_name), "detach_bypass",
             request.dst_port_name, request, role="rx",
         )
+        self._check_cancel(request)
+        self._check_reply(reply)
         request.t_rx_configured = env.now
         # 3. Re-home any leftovers onto the normal channel (in order:
         #    the sender is quiesced, so nothing can overtake them).
         request.salvaged_packets = self._salvage(request, ring)
         request.t_drained = env.now
         # 4. Release the sender onto the vSwitch path.
-        yield self._pmd_command_event(
+        reply = yield self._pmd_command_event(
             self._vm_of(request.src_port_name), "resume_tx",
             request.src_port_name, request, role="tx",
         )
+        self._check_cancel(request)
+        self._check_reply(reply)
         unplugs = [
             self.hypervisor.unplug_ivshmem(self.owner_of(port_name),
                                            request.zone_name)
             for port_name in (request.src_port_name, request.dst_port_name)
         ]
         yield env.all_of(unplugs)
+        self._check_cancel(request)
+        yield from self._inject("agent.rpc.reply")
         request.t_completed = env.now
         request.completed = True
         request.done_event.succeed(request)
@@ -331,6 +440,8 @@ class ComputeAgent:
         entry = self._pending_replies.pop(reply_id, None)
         if entry is not None:
             entry[0].succeed(message)
+        elif self.env is None:
+            self._sync_replies[reply_id] = message
 
     def _pmd_command_event(self, vm: VirtualMachine, command: str,
                            port_name: str, request: AgentRequest,
@@ -344,6 +455,27 @@ class ComputeAgent:
                                           role=role, **extra)
         self._pending_replies[reply_id] = (event, vm.name)
         return event
+
+    def _send_pmd_command_checked(self, vm: VirtualMachine, command: str,
+                                  port_name: str, request: AgentRequest,
+                                  role: str, **extra) -> None:
+        """Sync-mode send with reply verification.
+
+        Without an environment the serial channel delivers (and replies)
+        synchronously, so by the time ``host_send`` returns the reply —
+        if any — sits at the tail of ``to_host_log``.  A missing reply
+        (message dropped in transit) or an explicit error reply fails
+        the request instead of being silently ignored.
+        """
+        reply_id = self._send_pmd_command(vm, command, port_name, request,
+                                          role=role, **extra)
+        reply = self._sync_replies.pop(reply_id, None)
+        if reply is None:
+            raise HypervisorError(
+                "no PMD reply for %s(%s) on %r (message lost)"
+                % (command, role, port_name)
+            )
+        self._check_reply(reply)
 
     def _send_pmd_command(self, vm: VirtualMachine, command: str,
                           port_name: str, request: AgentRequest,

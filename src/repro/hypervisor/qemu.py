@@ -8,13 +8,16 @@ the compute agent uses — ``device_add``/``device_del`` for ivshmem —
 with the hot-plug latency that dominates bypass setup time.
 """
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.dpdk.eal import Eal
 from repro.dpdk.virtio_serial import VirtioSerial
 from repro.mem.memzone import MemzoneRegistry
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import Environment, Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultPlan
 
 
 class HypervisorError(RuntimeError):
@@ -49,10 +52,12 @@ class Hypervisor:
         registry: MemzoneRegistry,
         env: Optional[Environment] = None,
         costs: CostModel = DEFAULT_COST_MODEL,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.registry = registry
         self.env = env
         self.costs = costs
+        self.faults = faults
         self.vms: Dict[str, VirtualMachine] = {}
         self.hotplugs = 0
         self.hotunplugs = 0
@@ -74,6 +79,7 @@ class Hypervisor:
             "%s.serial" % name,
             env=self.env,
             one_way_latency=self.costs.virtio_serial_rtt / 2,
+            faults=self.faults,
         )
         vm = VirtualMachine(name, self.registry, serial)
         for zone_name in boot_zones or []:
@@ -130,6 +136,7 @@ class Hypervisor:
             )
         self.registry.lookup(zone_name)  # fail fast on bogus zones
         if self.env is None:
+            self._monitor_fault(vm, "qemu.plug", sync=True)
             self._complete_plug(vm, zone_name)
             return None
         return self.env.process(
@@ -139,12 +146,54 @@ class Hypervisor:
 
     def _plug_process(self, vm: VirtualMachine, zone_name: str):
         yield self.env.timeout(self.costs.qemu_monitor_cmd)
+        yield from self._monitor_fault(vm, "qemu.plug")
         yield self.env.timeout(self.costs.ivshmem_hotplug)
         self._complete_plug(vm, zone_name)
+
+    def _monitor_fault(self, vm: VirtualMachine, point: str,
+                       sync: bool = False):
+        """Fire the fault plan for a monitor command (plug/unplug).
+
+        Simulation mode: a generator to ``yield from`` — DELAY stretches
+        the command, DROP parks it forever (the caller's timeout is the
+        only way out), ERROR raises, CRASH kills the target VM first.
+        Sync mode (``sync=True``): called for its side effects; DROP has
+        no hung-forever analogue, so it degrades to ERROR.
+        """
+        if self.faults is None:
+            return () if sync else iter(())
+        from repro.faults import FaultMode
+
+        action = self.faults.fire(point)
+        if action is None:
+            return () if sync else iter(())
+        if action.mode is FaultMode.CRASH:
+            if vm.name in self.vms:
+                self.destroy_vm(vm.name)
+            raise HypervisorError(action.message)
+        if action.mode is FaultMode.ERROR:
+            raise HypervisorError(action.message)
+        if sync:
+            if action.mode is FaultMode.DROP:
+                raise HypervisorError(action.message)
+            return ()  # DELAY is meaningless without a clock
+
+        def _effects():
+            if action.mode is FaultMode.DELAY:
+                yield self.env.timeout(action.delay)
+            elif action.mode is FaultMode.DROP:
+                yield self.env.event()  # never fires: the command hangs
+
+        return _effects()
 
     def _complete_plug(self, vm: VirtualMachine, zone_name: str) -> None:
         if not vm.running:
             return  # the VM died while the hot-plug was in flight
+        if zone_name not in self.registry:
+            # The bypass manager rolled the establishment attempt back
+            # (and freed the zone) while this device_add was in flight;
+            # completing it now would map a guest into freed memory.
+            return
         self.registry.map_into(zone_name, vm.name)
         vm.ivshmem_devices.append(zone_name)
         self.hotplugs += 1
@@ -158,6 +207,7 @@ class Hypervisor:
                 "VM %r has no ivshmem for %r" % (vm_name, zone_name)
             )
         if self.env is None:
+            self._monitor_fault(vm, "qemu.unplug", sync=True)
             self._complete_unplug(vm, zone_name)
             return None
         return self.env.process(
@@ -167,9 +217,14 @@ class Hypervisor:
 
     def _unplug_process(self, vm: VirtualMachine, zone_name: str):
         yield self.env.timeout(self.costs.qemu_monitor_cmd)
+        yield from self._monitor_fault(vm, "qemu.unplug")
         self._complete_unplug(vm, zone_name)
 
     def _complete_unplug(self, vm: VirtualMachine, zone_name: str) -> None:
+        if not vm.has_zone(zone_name):
+            # Already detached by the failure janitor (force_unplug) or
+            # by the VM's own destruction while device_del was in flight.
+            return
         self.registry.unmap_from(zone_name, vm.name)
         vm.ivshmem_devices.remove(zone_name)
         self.hotunplugs += 1

@@ -13,7 +13,10 @@ mapped into it (boot-time dpdkr zones, or hot-plugged bypass zones), and
 unmapping makes them unreachable again.
 """
 
-from typing import Any, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultPlan
 
 
 class MemzoneError(RuntimeError):
@@ -68,12 +71,21 @@ class MemzoneRegistry:
     ports and bypass channels.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, faults: Optional["FaultPlan"] = None) -> None:
         self._zones: Dict[str, Memzone] = {}
+        self.faults = faults
 
     def reserve(self, name: str, size: int = 0,
                 owner: Optional[str] = None) -> Memzone:
         """Allocate a new named zone; name collisions are errors."""
+        if self.faults is not None:
+            from repro.faults import MEMZONE_RESERVE, FaultMode
+
+            action = self.faults.fire(MEMZONE_RESERVE)
+            # Allocation has no latency model, so every non-clean mode
+            # degrades to an allocation failure the caller must absorb.
+            if action is not None and action.mode is not FaultMode.DELAY:
+                raise MemzoneError(action.message)
         if name in self._zones:
             raise MemzoneError("memzone %r already reserved" % name)
         zone = Memzone(name, size=size, owner=owner)

@@ -3,6 +3,7 @@
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.rates import RateMeter, mpps, to_mpps
 from repro.metrics.report import format_table, format_series
+from repro.metrics.resilience import ResilienceCounters
 from repro.metrics.timeline import (
     EventTimeline,
     TimelineEvent,
@@ -13,6 +14,7 @@ __all__ = [
     "EventTimeline",
     "LatencyRecorder",
     "RateMeter",
+    "ResilienceCounters",
     "TimelineEvent",
     "attach_highway_tracing",
     "format_series",

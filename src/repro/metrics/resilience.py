@@ -1,0 +1,45 @@
+"""Control-plane resilience counters (retries, quarantines, damping).
+
+The self-healing :class:`~repro.core.bypass.BypassManager` reports every
+recovery action through one :class:`ResilienceCounters` block; the
+``appctl bypass/faults`` command and the fault-injection benchmarks read
+it.  Counters only ever increase, so deterministic tests can assert
+exact values under a seeded :class:`~repro.faults.FaultPlan`.
+"""
+
+from dataclasses import dataclass, fields
+from typing import List
+
+
+@dataclass
+class ResilienceCounters:
+    """Monotonic counters for the bypass control plane's self-healing."""
+
+    establish_attempts: int = 0    # agent setup requests issued
+    timeouts: int = 0              # attempts abandoned by the step timeout
+    rpc_errors: int = 0            # attempts that returned an explicit error
+    provision_failures: int = 0    # memzone/ring provisioning failures
+    rollbacks: int = 0             # partial-state rollbacks executed
+    retries: int = 0               # re-attempts scheduled with backoff
+    quarantines: int = 0           # links that exhausted the retry budget
+    quarantine_reattempts: int = 0  # establishments retried out of quarantine
+    flaps_damped: int = 0          # detector churn events absorbed
+    links_recovered: int = 0       # links that went ACTIVE after >= 1 retry
+    links_abandoned: int = 0       # recovery stopped (revoked / endpoint died)
+    teardown_failures: int = 0     # teardowns that needed the janitor path
+
+    def rows(self) -> List[List]:
+        """``[counter, value]`` rows for :func:`~repro.metrics.format_table`."""
+        return [[f.name.replace("_", " "), getattr(self, f.name)]
+                for f in fields(self)]
+
+    @property
+    def total_faults_survived(self) -> int:
+        """Attempt-level failures the control plane absorbed."""
+        return (self.timeouts + self.rpc_errors + self.provision_failures
+                + self.teardown_failures)
+
+    def __repr__(self) -> str:
+        return "<ResilienceCounters attempts=%d retries=%d quarantines=%d>" % (
+            self.establish_attempts, self.retries, self.quarantines
+        )

@@ -91,6 +91,9 @@ def attach_highway_tracing(timeline: EventTimeline, detector,
     manager.on_link_removed.append(
         lambda bl: timeline.record(
             "bypass-removed", src=bl.link.src_ofport,
-            dst=bl.link.dst_ofport, carried=bl.stats.tx_packets,
+            dst=bl.link.dst_ofport,
+            # stats is None when provisioning itself failed (injected
+            # memzone faults): the link carried nothing.
+            carried=bl.stats.tx_packets if bl.stats is not None else 0,
         )
     )

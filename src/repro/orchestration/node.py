@@ -8,9 +8,11 @@ the guest PMD managers stay consistent.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.core.bypass import BypassManager
+from repro.core.bypass import (
+    BypassManager, DEFAULT_RETRY_POLICY, RetryPolicy,
+)
 from repro.core.pmd import DualChannelPmd, GuestPmdManager
 from repro.core.transparency import enable_transparent_highway
 from repro.dpdk.dpdkr import dpdkr_zone_name
@@ -23,6 +25,9 @@ from repro.sim.engine import Environment
 from repro.sim.nic import Nic
 from repro.vswitch.ports import DpdkrOvsPort, PhyOvsPort
 from repro.vswitch.vswitchd import VSwitchd
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultPlan
 
 
 @dataclass
@@ -51,10 +56,13 @@ class NfvNode:
         n_pmd_cores: int = 2,
         highway_enabled: bool = True,
         ring_size: int = 1024,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.env = env
         self.costs = costs
-        self.registry = MemzoneRegistry()
+        self.faults = faults
+        self.registry = MemzoneRegistry(faults=faults)
         self.connection = ControllerConnection()
         self.switch = VSwitchd(
             env=env,
@@ -64,13 +72,16 @@ class NfvNode:
             n_pmd_cores=n_pmd_cores,
         )
         self.controller = SimpleController(self.connection)
-        self.hypervisor = Hypervisor(self.registry, env=env, costs=costs)
-        self.agent = ComputeAgent(self.hypervisor, env=env, costs=costs)
+        self.hypervisor = Hypervisor(self.registry, env=env, costs=costs,
+                                     faults=faults)
+        self.agent = ComputeAgent(self.hypervisor, env=env, costs=costs,
+                                  faults=faults)
         self.manager: Optional[BypassManager] = None
         self.highway_enabled = highway_enabled
         if highway_enabled:
             self.manager = enable_transparent_highway(
-                self.switch, self.agent, env=env, ring_size=ring_size
+                self.switch, self.agent, env=env, ring_size=ring_size,
+                retry_policy=retry_policy, faults=faults,
             )
         self.vms: Dict[str, VmHandle] = {}
         self.ports: Dict[str, object] = {}  # name -> OvsPort
@@ -117,6 +128,24 @@ class NfvNode:
             handle.pmds[port_name] = guest.create_pmd(port_name)
         self.vms[vm_name] = handle
         return handle
+
+    # -- fault injection ----------------------------------------------------------------
+
+    def install_fault_plan(self, plan: Optional["FaultPlan"]) -> None:
+        """Arm (or disarm, with ``None``) a fault plan on every wired
+        component — including serial channels of VMs that already exist.
+
+        Useful when the topology should come up cleanly and faults only
+        start firing for a later phase of a scenario.
+        """
+        self.faults = plan
+        self.registry.faults = plan
+        self.hypervisor.faults = plan
+        self.agent.faults = plan
+        if self.manager is not None:
+            self.manager.faults = plan
+        for handle in self.vms.values():
+            handle.vm.serial.faults = plan
 
     # -- convenience --------------------------------------------------------------------
 

@@ -67,7 +67,8 @@ def verify_host_invariants(node) -> List[str]:
                 and link.state in (LinkState.ESTABLISHING,
                                    LinkState.ACTIVE)
                 and (link.setup_request is None
-                     or link.setup_request.completed)
+                     or (link.setup_request.completed
+                         and link.setup_request.error is None))
                 for link in manager.active_links.values()
             )
             if expected_tx:
@@ -114,13 +115,16 @@ def verify_host_invariants(node) -> List[str]:
                    "port %s bypass flag out of sync" % port.name)
     checks.append("port flags consistent")
 
-    # 5. Historic links are terminal and keep their stats blocks.
+    # 5. Historic links are terminal (or quarantined, waiting for their
+    #    re-attempt) and never lose a stats block that carried traffic.
     for link in manager.history:
         if link not in manager.active_links.values():
-            ensure(link.state == LinkState.REMOVED,
+            ensure(link.state in (LinkState.REMOVED,
+                                  LinkState.QUARANTINED),
                    "historic link %s not terminal" % link.zone_name)
-        ensure(link.stats in manager.stats_blocks,
-               "stats block of %s lost" % link.zone_name)
+        if link.stats is not None and link.stats.tx_packets > 0:
+            ensure(link.stats in manager.stats_blocks,
+                   "stats block of %s lost" % link.zone_name)
     checks.append("history terminal, stats retained")
 
     return checks

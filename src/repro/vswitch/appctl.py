@@ -165,6 +165,15 @@ def bypass_show(vswitchd: VSwitchd, manager=None) -> str:
              % len(manager.active_links)]
     for src_ofport in sorted(manager.active_links):
         link = manager.active_links[src_ofport]
+        if link.ring is None:
+            # Establishing (or between retry attempts): nothing
+            # provisioned to report yet.
+            lines.append(
+                " %s -> %s  state=%s flow=%d (unprovisioned, attempt %d)"
+                % (link.src_port_name, link.dst_port_name,
+                   link.state.value, link.link.flow_id, link.attempts)
+            )
+            continue
         lines.append(
             " %s -> %s  state=%s zone=%s flow=%d tx_packets=%d "
             "tx_bytes=%d ring=%d/%d"
@@ -179,7 +188,45 @@ def bypass_show(vswitchd: VSwitchd, manager=None) -> str:
         lines.append(" history: %d channel(s) removed, %d packets "
                      "carried in total"
                      % (len(removed),
-                        sum(link.stats.tx_packets for link in removed)))
+                        sum(link.stats.tx_packets for link in removed
+                            if link.stats is not None)))
+    return "\n".join(lines)
+
+
+def bypass_faults(manager=None) -> str:
+    """``appctl bypass/faults``: resilience counters and fault status.
+
+    Shows the self-healing counters, the links currently in quarantine,
+    and — when a fault plan is armed — what it has injected so far.
+    """
+    if manager is None:
+        return "transparent highway: disabled"
+    counters = manager.resilience
+    lines = ["bypass control-plane resilience:"]
+    for name, value in counters.rows():
+        lines.append(" %-24s %d" % (name, value))
+    lines.append(" %-24s %d" % ("faults survived",
+                                counters.total_faults_survived))
+    lines.append(" %-24s %d" % ("packets lost to failures",
+                                manager.packets_lost_to_failures))
+    quarantined = manager.quarantined_links
+    lines.append("quarantine: %d link(s)" % len(quarantined))
+    for src_ofport in sorted(quarantined):
+        record = quarantined[src_ofport]
+        lines.append(
+            " src ofport %d -> %d  failures=%d next_attempt=%.3fs"
+            % (src_ofport, record.link.dst_ofport, record.failures,
+               record.until)
+        )
+    plan = manager.faults
+    if plan is None:
+        lines.append("fault plan: none armed")
+    else:
+        lines.append("fault plan: seed=%r, %d fault(s) injected"
+                     % (plan.seed, plan.total_injected))
+        for point, occurrences, injected in plan.summary_rows():
+            lines.append(" %-20s occurrences=%d injected=%d"
+                         % (point, occurrences, injected))
     return "\n".join(lines)
 
 
@@ -205,6 +252,7 @@ class AppCtl:
             "pmd-stats-show": lambda: cache_stats(self.vswitchd),
             "bypass/show": lambda: bypass_show(self.vswitchd,
                                                self.manager),
+            "bypass/faults": lambda: bypass_faults(self.manager),
         }
         handler = handlers.get(command)
         if handler is None:

@@ -1,0 +1,140 @@
+"""Lifecycle races: detector events and failures landing mid-transition.
+
+Each test lines up two state machines — the bypass link lifecycle and
+an external event source (the controller or the hypervisor) — so their
+transitions overlap, then checks the manager untangles them without
+leaking zones, crashing processes, or leaving a PMD on a dead channel.
+"""
+
+from repro.core.bypass import LinkState
+from repro.faults import AGENT_RPC_SEND, FaultPlan
+from repro.openflow.match import Match
+from repro.orchestration import NfvNode
+from repro.orchestration.validation import verify_host_invariants
+from repro.sim.engine import Environment
+
+
+def build_node(env, plan=None):
+    node = NfvNode(env=env, faults=plan)
+    node.create_vm("vm1", ["dpdkr0"])
+    node.create_vm("vm2", ["dpdkr1"])
+    return node
+
+
+def no_bypass_zone_leaked(node):
+    for zone_name in list(node.registry._zones):
+        assert not zone_name.startswith("bypass."), (
+            "bypass zone %s survived" % zone_name
+        )
+    return True
+
+
+class TestRecreateDuringTeardown:
+    def test_rule_recreated_while_old_link_tearing_down(self):
+        env = Environment()
+        node = build_node(env)
+        node.install_p2p_rule("dpdkr0", "dpdkr1")
+        node.settle_control_plane(extra_time=0.3)
+        of = node.ofport("dpdkr0")
+        old = node.manager.link_for_src(of)
+        assert old.state == LinkState.ACTIVE
+
+        # Delete the rule and re-create it while the teardown of the
+        # old channel is still in flight on the agent worker.
+        node.controller.delete_flow(Match(in_port=of))
+        env.run(until=env.now + 0.005)
+        assert old.state == LinkState.TEARING_DOWN
+        node.install_p2p_rule("dpdkr0", "dpdkr1")
+        env.run(until=env.now + 1.0)
+
+        # The old link finished its teardown; the new one established
+        # behind it on the serialized worker queue.
+        assert old.state == LinkState.REMOVED
+        new = node.manager.link_for_src(of)
+        assert new is not None and new is not old
+        assert new.state == LinkState.ACTIVE
+        assert node.vms["vm1"].pmd("dpdkr0").bypass_tx_active
+        # Exactly one rx ring attached: the torn-down one is gone.
+        assert len(node.vms["vm2"].pmd("dpdkr1").bypass_rx_rings) == 1
+        verify_host_invariants(node)
+
+
+class TestRevokeDuringRetryBackoff:
+    def test_rule_removed_while_link_waits_out_backoff(self):
+        plan = FaultPlan(seed=21)
+        plan.inject(AGENT_RPC_SEND, "error", occurrences=(1,))
+        env = Environment()
+        node = build_node(env, plan)
+        node.install_p2p_rule("dpdkr0", "dpdkr1")
+        # Attempt 1 fails fast (agent NACK); the retry timer is armed
+        # for +50 ms.  Revoke the rule inside that window.
+        node.settle_control_plane(extra_time=0.03)
+        of = node.ofport("dpdkr0")
+        link = node.manager.link_for_src(of)
+        assert link is not None
+        assert link.attempts == 1
+        r = node.manager.resilience
+        assert r.retries == 1  # timer armed
+
+        node.controller.delete_flow(Match(in_port=of))
+        env.run(until=env.now + 1.0)
+
+        # The timer abandoned the revoked link instead of re-attempting.
+        assert link.state == LinkState.REMOVED
+        assert node.manager.link_for_src(of) is None
+        assert r.links_abandoned == 1
+        assert r.establish_attempts == 1  # no attempt after the revoke
+        assert no_bypass_zone_leaked(node)
+        assert not node.vms["vm1"].pmd("dpdkr0").bypass_tx_active
+        verify_host_invariants(node)
+
+
+class TestDoubleCrashMidEstablishment:
+    def test_both_vms_crash_with_establishment_in_flight(self):
+        env = Environment()
+        node = build_node(env)
+        node.install_p2p_rule("dpdkr0", "dpdkr1")
+        # t=0.04: the RPC landed and hot-plugs are in flight.
+        node.settle_control_plane(extra_time=0.04)
+        of = node.ofport("dpdkr0")
+        link = node.manager.link_for_src(of)
+        assert link.state == LinkState.ESTABLISHING
+
+        node.hypervisor.destroy_vm("vm1")
+        node.hypervisor.destroy_vm("vm2")
+        env.run(until=env.now + 2.0)  # must not raise SimulationError
+
+        assert link.state == LinkState.REMOVED
+        assert node.active_bypasses == 0
+        assert node.manager.resilience.retries == 0  # no retry to a corpse
+        assert no_bypass_zone_leaked(node)
+        # Nothing is mapped anywhere: both VMs are gone.
+        for zone_name in list(node.registry._zones):
+            assert node.registry.lookup(zone_name).mapped_by == []
+        verify_host_invariants(node)
+
+    def test_crash_then_recreate_on_fresh_vms(self):
+        # After the double crash, new VMs on the same ports must be able
+        # to get a bypass again — state from the aborted link must not
+        # poison the key.
+        env = Environment()
+        node = build_node(env)
+        node.install_p2p_rule("dpdkr0", "dpdkr1")
+        node.settle_control_plane(extra_time=0.04)
+        node.hypervisor.destroy_vm("vm1")
+        node.hypervisor.destroy_vm("vm2")
+        env.run(until=env.now + 1.0)
+
+        node.create_vm("vm1", ["dpdkr0"])
+        node.create_vm("vm2", ["dpdkr1"])
+        of = node.ofport("dpdkr0")
+        # The rule is still installed; cycle it so the detector re-emits.
+        node.controller.delete_flow(Match(in_port=of))
+        env.run(until=env.now + 0.1)
+        node.install_p2p_rule("dpdkr0", "dpdkr1")
+        env.run(until=env.now + 1.0)
+
+        link = node.manager.link_for_src(of)
+        assert link is not None and link.state == LinkState.ACTIVE
+        assert node.vms["vm1"].pmd("dpdkr0").bypass_tx_active
+        verify_host_invariants(node)

@@ -1,0 +1,111 @@
+"""Unit tests for the fault-injection plan (repro.faults).
+
+The plan is the deterministic core of the robustness suite: given a
+seed and a set of specs, the same occurrences of the same points must
+always produce the same injections.
+"""
+
+import pytest
+
+from repro.faults import (
+    AGENT_RPC_SEND,
+    KNOWN_POINTS,
+    QEMU_PLUG,
+    SERIAL_TO_GUEST,
+    FaultMode,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class TestFaultSpec:
+    def test_mode_coercion_from_string(self):
+        spec = FaultSpec(point=QEMU_PLUG, mode="error")
+        assert spec.mode is FaultMode.ERROR
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(point=QEMU_PLUG, mode="drop", probability=1.5)
+
+    def test_occurrences_one_based(self):
+        with pytest.raises(ValueError):
+            FaultSpec(point=QEMU_PLUG, mode="drop", occurrences=(0,))
+
+    def test_exhaustion(self):
+        spec = FaultSpec(point=QEMU_PLUG, mode="drop", occurrences=(2, 4))
+        assert not spec.exhausted
+        spec.triggered = 2
+        assert spec.exhausted
+        capped = FaultSpec(point=QEMU_PLUG, mode="drop", max_triggers=1)
+        capped.triggered = 1
+        assert capped.exhausted
+
+
+class TestFaultPlan:
+    def test_nth_occurrence_trigger_is_exact(self):
+        plan = FaultPlan(seed=0)
+        plan.inject(QEMU_PLUG, "error", occurrences=(3,))
+        results = [plan.fire(QEMU_PLUG) for _ in range(5)]
+        assert [r is not None for r in results] == [
+            False, False, True, False, False
+        ]
+        assert results[2].occurrence == 3
+        assert results[2].mode is FaultMode.ERROR
+
+    def test_occurrences_counted_per_point(self):
+        plan = FaultPlan(seed=0)
+        plan.inject(QEMU_PLUG, "error", occurrences=(1,))
+        assert plan.fire(AGENT_RPC_SEND) is None  # other point: no trigger
+        assert plan.fire(QEMU_PLUG) is not None
+        assert plan.occurrences == {AGENT_RPC_SEND: 1, QEMU_PLUG: 1}
+
+    def test_probabilistic_injection_is_seed_deterministic(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed)
+            plan.inject(SERIAL_TO_GUEST, "drop", probability=0.5)
+            return [plan.fire(SERIAL_TO_GUEST) is not None
+                    for _ in range(32)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)  # astronomically unlikely to collide
+        assert any(run(7))
+        assert not all(run(7))
+
+    def test_max_triggers_caps_probabilistic_spec(self):
+        plan = FaultPlan(seed=1)
+        plan.inject(QEMU_PLUG, "drop", probability=1.0, max_triggers=2)
+        hits = [plan.fire(QEMU_PLUG) for _ in range(5)]
+        assert sum(1 for h in hits if h is not None) == 2
+
+    def test_first_registered_spec_wins(self):
+        plan = FaultPlan(seed=0)
+        plan.inject(QEMU_PLUG, "error", occurrences=(1,))
+        plan.inject(QEMU_PLUG, "drop", occurrences=(1,))
+        action = plan.fire(QEMU_PLUG)
+        assert action.mode is FaultMode.ERROR
+        # The losing spec did not consume its trigger.
+        assert plan.specs[1].triggered == 0
+
+    def test_injected_bookkeeping(self):
+        plan = FaultPlan(seed=0)
+        plan.inject(QEMU_PLUG, "error", occurrences=(1,))
+        plan.inject(AGENT_RPC_SEND, "drop", occurrences=(2,))
+        plan.fire(QEMU_PLUG)
+        plan.fire(AGENT_RPC_SEND)
+        plan.fire(AGENT_RPC_SEND)
+        assert plan.total_injected == 2
+        assert len(plan.injected_at(QEMU_PLUG)) == 1
+        assert len(plan.injected_at(AGENT_RPC_SEND)) == 1
+        rows = {row[0]: row[1:] for row in plan.summary_rows()}
+        assert rows[QEMU_PLUG] == [1, 1]
+        assert rows[AGENT_RPC_SEND] == [2, 1]
+
+    def test_default_message_names_point_and_occurrence(self):
+        plan = FaultPlan(seed=0)
+        plan.inject(QEMU_PLUG, "error", occurrences=(1,))
+        action = plan.fire(QEMU_PLUG)
+        assert QEMU_PLUG in action.message
+        assert "occurrence 1" in action.message
+
+    def test_known_points_are_distinct(self):
+        assert len(set(KNOWN_POINTS)) == len(KNOWN_POINTS)
