@@ -36,6 +36,12 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.core.detector import P2PLink, P2PLinkDetector
 from repro.core.stats import BypassStatsBlock
+from repro.core.watchdog import (
+    DEFAULT_WATCHDOG_POLICY,
+    BypassWatchdog,
+    HealthState,
+    WatchdogPolicy,
+)
 from repro.hypervisor.compute_agent import AgentRequest, ComputeAgent
 from repro.mem.memzone import MemzoneError, MemzoneRegistry
 from repro.mem.ring import Ring, RingMode
@@ -127,11 +133,22 @@ class BypassLink:
 
 @dataclass
 class QuarantineRecord:
-    """Bookkeeping for a link held off the highway after repeated failure."""
+    """Bookkeeping for a link held off the highway after repeated failure.
+
+    ``reason`` distinguishes why the link is here: ``"establish"`` (the
+    retry budget for setting it up ran out) or ``"degraded"`` (it *was*
+    ACTIVE and the watchdog executed a live fallback).  Degraded records
+    additionally carry ``heartbeat_mark`` — the consumer port's
+    heartbeat epoch at degrade time — and re-admission is deferred until
+    the epoch moves past it, i.e. until the peer demonstrably polls
+    again.
+    """
 
     link: P2PLink
     failures: int = 0      # quarantine entries (grows the backoff)
     until: float = 0.0     # earliest re-attempt time (simulated seconds)
+    reason: str = "establish"
+    heartbeat_mark: Optional[int] = None
 
 
 class BypassManager:
@@ -146,6 +163,7 @@ class BypassManager:
         ring_size: int = 1024,
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
         faults: Optional["FaultPlan"] = None,
+        watchdog_policy: WatchdogPolicy = DEFAULT_WATCHDOG_POLICY,
     ) -> None:
         self.vswitchd = vswitchd
         self.registry: MemzoneRegistry = vswitchd.registry
@@ -175,10 +193,14 @@ class BypassManager:
         agent.hypervisor.on_destroy.append(self._on_vm_failure)
         self.failed_links: List[BypassLink] = []
         self.packets_lost_to_failures = 0
+        # Runtime health: periodic in simulation, check_once() in sync
+        # tests (mirroring the worker-vs-direct split above).
+        self.watchdog = BypassWatchdog(self, watchdog_policy)
         if env is not None:
             self._ops_available = env.event()
             self._worker = env.process(self._worker_process(),
                                        name="bypass.worker")
+            self.watchdog.start(env)
 
     # -- state access ---------------------------------------------------------
 
@@ -341,8 +363,9 @@ class BypassManager:
 
         Returns an error string on failure (nothing was allocated).
         """
+        serial = next(self._zone_serial)
         zone_name = "bypass.%d.%s-%s" % (
-            next(self._zone_serial),
+            serial,
             bypass_link.src_port_name, bypass_link.dst_port_name,
         )
         try:
@@ -353,6 +376,12 @@ class BypassManager:
             "%s.ring" % zone_name, self.ring_size, RingMode.SP_SC,
             watermark=(self.ring_size * 3) // 4,
         ))
+        # The generation tag pins this provisioning; the watchdog
+        # validates against it so re-provisioned memory is never
+        # mistaken for corruption (or vice versa).  Arming the plan
+        # enables the ring.corrupt injection point on bypass rings only.
+        ring.generation = serial
+        ring.faults = self.faults
         stats = zone.put("stats", BypassStatsBlock(
             zone_name, bypass_link.link.src_ofport,
             bypass_link.link.dst_ofport,
@@ -477,22 +506,29 @@ class BypassManager:
     def _mark_active(self, bypass_link: BypassLink) -> None:
         bypass_link.state = LinkState.ACTIVE
         bypass_link.t_active = self._now()
-        if (bypass_link.attempts > 1
-                or bypass_link.link.src_ofport in self._quarantine):
+        record = self._quarantine.pop(bypass_link.link.src_ofport, None)
+        if bypass_link.attempts > 1 or record is not None:
             self.resilience.links_recovered += 1
-        self._quarantine.pop(bypass_link.link.src_ofport, None)
+        if record is not None and record.reason == "degraded":
+            self.resilience.degraded_readmissions += 1
         self._update_port_flags()
         for callback in self.on_link_active:
             callback(bypass_link)
 
     # quarantine ------------------------------------------------------------------------
 
-    def _enter_quarantine(self, bypass_link: BypassLink) -> None:
-        """The retry budget is spent: degrade to the switch path.
+    def _enter_quarantine(self, bypass_link: BypassLink,
+                          reason: str = "establish",
+                          heartbeat_mark: Optional[int] = None) -> None:
+        """Degrade to the switch path: retry budget spent, or a live
+        fallback just ran (``reason="degraded"``).
 
         The link keeps forwarding through the vSwitch exactly as before
         detection; establishment is re-attempted after a (growing)
-        backoff rather than abandoned outright.
+        backoff rather than abandoned outright.  Degraded entries
+        additionally wait for the consumer's port heartbeat to move past
+        ``heartbeat_mark`` — re-admitting a bypass toward a still-frozen
+        peer would only re-strand packets.
         """
         key = bypass_link.link.src_ofport
         record = self._quarantine.get(key)
@@ -501,6 +537,8 @@ class BypassManager:
             self._quarantine[key] = record
         record.link = bypass_link.link
         record.failures += 1
+        record.reason = reason
+        record.heartbeat_mark = heartbeat_mark
         self.resilience.quarantines += 1
         self.failed_links.append(bypass_link)
         self._finish_teardown(bypass_link)
@@ -524,8 +562,142 @@ class BypassManager:
             return
         if key in self._active:
             return
+        if record.reason == "degraded" and not self._peer_heartbeating(record):
+            # The consumer has not polled since the fallback: hold the
+            # link on the switch path and look again after another
+            # backoff (the record keeps its failure count — a silent
+            # peer must not reset the ladder).
+            self.resilience.readmissions_deferred += 1
+            record.until = self._now() + delay
+            self.env.process(
+                self._quarantine_reattempt(key, record, delay),
+                name="bypass.quarantine.%d" % key,
+            )
+            return
         self.resilience.quarantine_reattempts += 1
         self._admit_link(current)
+
+    def _peer_heartbeating(self, record: QuarantineRecord) -> bool:
+        """Has the consumer polled since the mark was taken?"""
+        if record.heartbeat_mark is None:
+            return True
+        port = self.vswitchd.datapath.ports.get(record.link.dst_ofport)
+        if port is None:
+            return True
+        epoch = self.consumer_heartbeat_epoch(port.name)
+        return epoch is None or epoch > record.heartbeat_mark
+
+    # runtime health -----------------------------------------------------------------
+
+    def consumer_heartbeat_epoch(self, port_name: str) -> Optional[int]:
+        """The port's guest-published heartbeat epoch (None: no signal)."""
+        from repro.dpdk.dpdkr import dpdkr_zone_name
+
+        zone_name = dpdkr_zone_name(port_name)
+        if zone_name not in self.registry:
+            return None
+        zone = self.registry.lookup(zone_name)
+        if "heartbeat" not in zone:
+            return None
+        return zone.get("heartbeat").epoch
+
+    def normal_backlog(self, port_name: str) -> int:
+        """Occupancy of the port's normal (switch -> guest) ring."""
+        from repro.dpdk.dpdkr import dpdkr_zone_name
+
+        zone_name = dpdkr_zone_name(port_name)
+        if zone_name not in self.registry:
+            return 0
+        return len(self.registry.lookup(zone_name).get("rx"))
+
+    def degrade_link(self, bypass_link: BypassLink,
+                     verdict: HealthState) -> None:
+        """Emergency live fallback: the watchdog found the channel sick.
+
+        The ordered-handover machinery run in reverse, synchronously (no
+        sim time passes, so nothing can interleave):
+
+        1. stall the sender (``TxState.STALLED`` — bursts refused with
+           ring-full semantics);
+        2. detach the receiver's bypass RX;
+        3. salvage everything still in the bypass ring onto the
+           receiver's *normal* channel, in ring order — receivers poll
+           the normal channel first, so salvaged packets are delivered
+           before anything the sender later pushes via the vSwitch;
+        4. resume the sender on the switch path;
+        5. unplug the zone from both endpoints and hand the link to the
+           quarantine ladder with the ``degraded`` reason (heartbeat-
+           gated automatic re-admission).
+
+        Zero loss toward a living receiver, zero reordering — the same
+        guarantee orderly teardown gives, under failure.
+        """
+        if bypass_link.state != LinkState.ACTIVE:
+            return
+        res = self.resilience
+        if verdict == HealthState.STALLED:
+            res.stalled_consumers += 1
+        elif verdict == HealthState.WEDGED:
+            res.wedged_guests += 1
+        elif verdict == HealthState.DEAD_PEER:
+            res.dead_peer_fallbacks += 1
+        elif verdict == HealthState.CORRUPT:
+            res.ring_integrity_failures += 1
+        res.links_degraded += 1
+        bypass_link.state = LinkState.TEARING_DOWN
+        bypass_link.t_teardown_started = self._now()
+        src = bypass_link.src_port_name
+        dst = bypass_link.dst_port_name
+        src_alive = self.agent.is_port_alive(src)
+        dst_alive = self.agent.is_port_alive(dst)
+        if src_alive:
+            self._try_direct_command(src, "detach_bypass",
+                                     bypass_link.zone_name, "tx",
+                                     stall=True)
+        if dst_alive:
+            # A frozen consumer still executes host-delivered control
+            # commands: the wedge is in the app's poll loop, the PMD
+            # state lives in shared memory the host can fix up.
+            self._try_direct_command(dst, "detach_bypass",
+                                     bypass_link.zone_name, "rx")
+        leftovers = (bypass_link.ring.drain()
+                     if bypass_link.ring is not None else [])
+        # A CORRUPT verdict means some occupied slot may hold None (the
+        # smashed packet): it is unrecoverable — counted lost, never
+        # forwarded to the receiver as garbage.
+        smashed = sum(1 for mbuf in leftovers if mbuf is None)
+        if smashed:
+            self.packets_lost_to_failures += smashed
+            leftovers = [mbuf for mbuf in leftovers if mbuf is not None]
+        if leftovers:
+            salvaged = 0
+            if dst_alive:
+                from repro.dpdk.dpdkr import dpdkr_zone_name
+
+                zone = self.registry.lookup(dpdkr_zone_name(dst))
+                salvaged = zone.get("rx").enqueue_burst(leftovers)
+                res.packets_salvaged += salvaged
+            for mbuf in leftovers[salvaged:]:
+                self.packets_lost_to_failures += 1
+                mbuf.free()
+        if src_alive:
+            self._try_direct_command(src, "resume_tx",
+                                     bypass_link.zone_name, "tx")
+        if (bypass_link.zone_name is not None
+                and bypass_link.zone_name in self.registry):
+            zone = self.registry.lookup(bypass_link.zone_name)
+            for port_name in (src, dst):
+                owner = self.agent.owner_of(port_name)
+                if owner in zone.mapped_by and owner in \
+                        self.agent.hypervisor.vms:
+                    self.agent.hypervisor.force_unplug(
+                        owner, bypass_link.zone_name
+                    )
+        self._enter_quarantine(
+            bypass_link,
+            reason="degraded",
+            heartbeat_mark=self.consumer_heartbeat_epoch(dst),
+        )
 
     # teardown ------------------------------------------------------------------------
 
@@ -576,12 +748,15 @@ class BypassManager:
     # failure cleanup -------------------------------------------------------------------
 
     def _try_direct_command(self, port_name: str, command: str,
-                            zone_name: Optional[str], role: str) -> None:
+                            zone_name: Optional[str], role: str,
+                            **extra) -> None:
         """Best-effort direct PMD command for rollback/janitor paths.
 
         Delivered host-side (no serial channel, no fault injection); a
         guest that never reached the state being undone simply rejects
-        the command, which is exactly the don't-care case.
+        the command, which is exactly the don't-care case.  ``extra``
+        rides along in the message args (e.g. ``stall=True`` for the
+        degrade path's ordered stall).
         """
         from repro.dpdk.virtio_serial import ControlMessage
 
@@ -590,13 +765,15 @@ class BypassManager:
         vm = self.agent.hypervisor.vms.get(self.agent.owner_of(port_name))
         if vm is None:
             return
+        args = {
+            "request_id": -1,
+            "port_name": port_name,
+            "zone_name": zone_name,
+            "role": role,
+        }
+        args.update(extra)
         try:
-            vm.serial.guest_handler(ControlMessage(command, {
-                "request_id": -1,
-                "port_name": port_name,
-                "zone_name": zone_name,
-                "role": role,
-            }))
+            vm.serial.guest_handler(ControlMessage(command, args))
         except Exception:  # noqa: BLE001 - nothing was attached: done
             pass
 

@@ -28,11 +28,12 @@ integration suite asserts end-to-end.
 """
 
 import enum
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.dpdk.dpdkr import DpdkrPmd, DpdkrSharedRings, dpdkr_zone_name
 from repro.dpdk.virtio_serial import ControlMessage
 from repro.core.stats import BypassStatsBlock
+from repro.faults import PMD_RX_POLL, FaultMode, FaultPlan
 from repro.hypervisor.qemu import VirtualMachine
 from repro.mem.ring import Ring
 from repro.packet.mbuf import Mbuf
@@ -72,8 +73,17 @@ class DualChannelPmd(DpdkrPmd):
         # so the RX side is a list of rings, polled round-robin.
         self.bypass_rx_rings: List[Ring] = []
         self._rx_rotation = 0
+        # Consumer-side stats blocks (heartbeat targets), keyed by ring
+        # identity; populated when the attach command carries one.
+        self._rx_stats: Dict[int, BypassStatsBlock] = {}
         self.bypass_stats: Optional[BypassStatsBlock] = None
         self.bypass_flow_id: Optional[int] = None
+        # Runtime-fault hooks: a plan with pmd.rx_poll specs can freeze
+        # this consumer; clock (sim time) bounds DELAY-mode freezes.
+        self.faults: Optional[FaultPlan] = None
+        self.clock: Optional[Callable[[], float]] = None
+        self._rx_frozen_until: Optional[float] = None
+        self._rx_frozen_forever = False
         # The paper's stats trick costs a little CPU on every bypass TX;
         # accounting_enabled=False is the ablation that measures it (and
         # demonstrates the transparency that is lost without it).
@@ -89,6 +99,8 @@ class DualChannelPmd(DpdkrPmd):
         self.rx_via_bypass = 0
         self.rx_via_normal = 0
         self.tx_stall_rejects = 0
+        # Corrupted (None) bypass-ring slots dropped on dequeue.
+        self.rx_integrity_drops = 0
         # Bursts that left the bypass ring above its watermark: the
         # receiver is falling behind (congestion signal in bypass/show).
         self.bypass_congestion_events = 0
@@ -145,13 +157,22 @@ class DualChannelPmd(DpdkrPmd):
             )
         self.tx_state = TxState.NORMAL
 
-    def attach_bypass_rx(self, ring: Ring) -> None:
-        """Start polling ``ring`` in addition to the normal channel."""
+    def attach_bypass_rx(self, ring: Ring,
+                         stats: Optional[BypassStatsBlock] = None) -> None:
+        """Start polling ``ring`` in addition to the normal channel.
+
+        When ``stats`` (the channel's shared block) is given, every poll
+        of the ring publishes a heartbeat epoch and the cumulative
+        dequeue cursor into it — the consumer half of the liveness
+        protocol the host watchdog reads.
+        """
         if ring in self.bypass_rx_rings:
             raise RuntimeError(
                 "port %r already polls this bypass ring" % self.name
             )
         self.bypass_rx_rings.append(ring)
+        if stats is not None:
+            self._rx_stats[id(ring)] = stats
 
     def detach_bypass_rx(self, ring: Optional[Ring] = None) -> None:
         """Stop polling ``ring`` (or the only attached ring)."""
@@ -169,6 +190,7 @@ class DualChannelPmd(DpdkrPmd):
                 "port %r does not poll that bypass ring" % self.name
             )
         self.bypass_rx_rings.remove(ring)
+        self._rx_stats.pop(id(ring), None)
 
     @property
     def bypass_tx_active(self) -> bool:
@@ -186,6 +208,30 @@ class DualChannelPmd(DpdkrPmd):
 
     # -- data path ------------------------------------------------------------
 
+    def _rx_frozen(self) -> bool:
+        """True while an injected consumer freeze is in effect."""
+        if self._rx_frozen_forever:
+            return True
+        if self._rx_frozen_until is not None:
+            if self.clock is not None and self.clock() < self._rx_frozen_until:
+                return True
+            self._rx_frozen_until = None
+        return False
+
+    def _apply_rx_fault(self, action) -> None:
+        """Map a ``pmd.rx_poll`` injection onto a consumer misbehaviour.
+
+        DROP skips one poll, DELAY freezes the consumer for
+        ``action.delay`` seconds of sim time (one poll when no clock is
+        wired), ERROR/CRASH wedge the guest permanently — only external
+        recovery (re-creating the PMD) would clear it.
+        """
+        if action.mode is FaultMode.DELAY and self.clock is not None:
+            self._rx_frozen_until = self.clock() + action.delay
+        elif action.mode in (FaultMode.ERROR, FaultMode.CRASH):
+            self._rx_frozen_forever = True
+        # DROP (and clockless DELAY): just this poll is lost.
+
     def rx_burst(self, max_count: int) -> List[Mbuf]:
         """Merge the normal channel and the bypass rings.
 
@@ -194,25 +240,69 @@ class DualChannelPmd(DpdkrPmd):
         than anything in a bypass ring, so this order (together with the
         sender-side drain gate) keeps delivery in order — and it gives
         controller packet-outs prompt service as a side effect.
+
+        Every completed poll publishes liveness: the port heartbeat
+        epoch, and per bypass ring the (epoch, dequeue-cursor) pair in
+        its shared stats block.  A frozen consumer (injected via the
+        ``pmd.rx_poll`` fault point) publishes nothing and drains
+        nothing — the condition the host watchdog exists to catch.
         """
+        if self._rx_frozen():
+            return []
+        faults = self.faults
+        # Only a PMD consuming a bypass counts as a pmd.rx_poll
+        # occurrence — keeps occurrence numbering deterministic per
+        # channel instead of interleaving every sink on the node.
+        if (faults is not None and self.bypass_rx_rings
+                and faults.has_specs(PMD_RX_POLL)):
+            action = faults.fire(PMD_RX_POLL)
+            if action is not None:
+                self._apply_rx_fault(action)
+                return []
+        self.rings.heartbeat.beat()
         mbufs: List[Mbuf] = []
         if self.ordered_handover:
             mbufs = self.rings.to_guest.dequeue_burst(max_count)
             self.rx_via_normal += len(mbufs)
         ring_count = len(self.bypass_rx_rings)
-        if ring_count and len(mbufs) < max_count:
-            # Rotate the starting ring so no bypass peer can starve
-            # another under sustained load.
-            self._rx_rotation = (self._rx_rotation + 1) % ring_count
+        if ring_count:
+            # Fairness rotation: start from where the last *served* poll
+            # left off, and advance only past a ring that actually
+            # yielded packets — an empty poll must not burn a ring's
+            # turn, or one busy peer can starve another indefinitely.
+            start = self._rx_rotation % ring_count
+            first_served = None
             for offset in range(ring_count):
-                if len(mbufs) >= max_count:
-                    break
-                ring = self.bypass_rx_rings[
-                    (self._rx_rotation + offset) % ring_count
-                ]
-                got = ring.dequeue_burst(max_count - len(mbufs))
-                self.rx_via_bypass += len(got)
-                mbufs.extend(got)
+                index = (start + offset) % ring_count
+                ring = self.bypass_rx_rings[index]
+                if len(mbufs) < max_count:
+                    got = ring.dequeue_burst(max_count - len(mbufs))
+                else:
+                    got = []
+                smashed = 0
+                if got and None in got:
+                    # A corrupted slot surfaced at the consumer: there
+                    # is nothing deliverable in it, so drop it — and
+                    # flag the shared stats block, because once the
+                    # slot is dequeued the ring looks structurally
+                    # clean again and the flag is the host validator's
+                    # only remaining evidence.
+                    clean = [m for m in got if m is not None]
+                    smashed = len(got) - len(clean)
+                    got = clean
+                    self.rx_integrity_drops += smashed
+                stats = self._rx_stats.get(id(ring))
+                if stats is not None:
+                    stats.heartbeat(len(got))
+                    if smashed:
+                        stats.rx_integrity_errors += smashed
+                if got:
+                    if first_served is None:
+                        first_served = index
+                    self.rx_via_bypass += len(got)
+                    mbufs.extend(got)
+            if first_served is not None:
+                self._rx_rotation = (first_served + 1) % ring_count
         if not self.ordered_handover and len(mbufs) < max_count:
             normal = self.rings.to_guest.dequeue_burst(
                 max_count - len(mbufs)
@@ -262,6 +352,35 @@ class DualChannelPmd(DpdkrPmd):
             self.stats.oerrors += len(mbufs) - sent
         return sent
 
+    # -- observability --------------------------------------------------------
+
+    def channel_stats(self) -> Dict[str, int]:
+        """Per-channel counters for ``bypass/show`` and tests.
+
+        Ring-level failure accounting distinguishes total rejections
+        (``*_enqueue_failures``) from partial fits
+        (``*_partial_enqueues``); see :meth:`Ring.enqueue_burst`.
+        """
+        out = {
+            "tx_via_bypass": self.tx_via_bypass,
+            "tx_via_normal": self.tx_via_normal,
+            "rx_via_bypass": self.rx_via_bypass,
+            "rx_via_normal": self.rx_via_normal,
+            "tx_stall_rejects": self.tx_stall_rejects,
+            "rx_integrity_drops": self.rx_integrity_drops,
+            "bypass_congestion_events": self.bypass_congestion_events,
+            "normal_enqueue_failures": self.rings.to_switch.enqueue_failures,
+            "normal_partial_enqueues": self.rings.to_switch.partial_enqueues,
+        }
+        if self.bypass_tx_ring is not None:
+            out["bypass_enqueue_failures"] = (
+                self.bypass_tx_ring.enqueue_failures
+            )
+            out["bypass_partial_enqueues"] = (
+                self.bypass_tx_ring.partial_enqueues
+            )
+        return out
+
 
 class GuestPmdManager:
     """Per-VM runtime that owns the dual-channel PMDs.
@@ -275,6 +394,7 @@ class GuestPmdManager:
     def __init__(self, vm: VirtualMachine) -> None:
         self.vm = vm
         self.pmds: Dict[str, DualChannelPmd] = {}
+        self.faults: Optional[FaultPlan] = vm.serial.faults
         vm.serial.guest_handler = self.handle_command
 
     def create_pmd(self, port_name: str) -> DualChannelPmd:
@@ -284,9 +404,19 @@ class GuestPmdManager:
         zone = self.vm.eal.lookup_memzone(dpdkr_zone_name(port_name))
         rings = DpdkrSharedRings.attach(zone)
         pmd = DualChannelPmd(port_id=-1, rings=rings)
+        pmd.faults = self.faults
+        env = self.vm.serial.env
+        if env is not None:
+            pmd.clock = lambda: env.now
         self.vm.eal.register_port(pmd)
         self.pmds[port_name] = pmd
         return pmd
+
+    def install_faults(self, faults: Optional[FaultPlan]) -> None:
+        """Re-arm this VM's PMDs with ``faults`` (late plan install)."""
+        self.faults = faults
+        for pmd in self.pmds.values():
+            pmd.faults = faults
 
     def pmd(self, port_name: str) -> DualChannelPmd:
         try:
@@ -301,18 +431,29 @@ class GuestPmdManager:
     def handle_command(self, message: ControlMessage
                        ) -> Optional[ControlMessage]:
         args = message.args
-        if message.command == "attach_bypass":
-            self._attach(args)
-            return ControlMessage("attach_bypass_ok",
-                                  {"request_id": args["request_id"]})
-        if message.command == "detach_bypass":
-            self._detach(args)
-            return ControlMessage("detach_bypass_ok",
-                                  {"request_id": args["request_id"]})
-        if message.command == "resume_tx":
-            self.pmd(args["port_name"]).resume_tx()
-            return ControlMessage("resume_tx_ok",
-                                  {"request_id": args["request_id"]})
+        # Per-command exception barrier: a command arriving in a state
+        # it no longer fits (stale teardown after a rollback, attach to
+        # a PMD that was since reconfigured) must NACK over the serial
+        # channel, never unwind into the delivery path — the host side
+        # treats the error reply exactly like its other failure modes.
+        try:
+            if message.command == "attach_bypass":
+                self._attach(args)
+                return ControlMessage("attach_bypass_ok",
+                                      {"request_id": args["request_id"]})
+            if message.command == "detach_bypass":
+                self._detach(args)
+                return ControlMessage("detach_bypass_ok",
+                                      {"request_id": args["request_id"]})
+            if message.command == "resume_tx":
+                self.pmd(args["port_name"]).resume_tx()
+                return ControlMessage("resume_tx_ok",
+                                      {"request_id": args["request_id"]})
+        except Exception as exc:
+            return ControlMessage("error", {
+                "request_id": args.get("request_id"),
+                "reason": "%s failed: %s" % (message.command, exc),
+            })
         return ControlMessage("error", {
             "request_id": args.get("request_id"),
             "reason": "unknown command %r" % message.command,
@@ -325,7 +466,7 @@ class GuestPmdManager:
         if args["role"] == "tx":
             pmd.attach_bypass_tx(ring, zone.get("stats"), args["flow_id"])
         else:
-            pmd.attach_bypass_rx(ring)
+            pmd.attach_bypass_rx(ring, zone.get("stats"))
 
     def _detach(self, args: Dict) -> None:
         pmd = self.pmd(args["port_name"])

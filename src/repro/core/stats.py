@@ -10,9 +10,38 @@ A :class:`BypassStatsBlock` lives inside the bypass channel's memzone
 (so it is naturally visible to both the guest PMD that writes it and the
 host that reads it) and survives the link's teardown — totals must stay
 correct in flow-removed messages and later port-stats replies.
+
+The block is also the channel's *liveness ledger*: the consuming PMD
+publishes a heartbeat epoch and its cumulative dequeue cursor into the
+same shared memory on every receive poll, which is what lets the
+host-side watchdog distinguish "nothing to deliver" from "nobody is
+draining" without any extra control-plane traffic.
+:class:`PortHeartbeat` is the per-port equivalent living in the dpdkr
+zone, so guest liveness stays observable after a bypass is torn down.
 """
 
 from typing import Dict, Tuple
+
+
+class PortHeartbeat:
+    """A guest-published liveness epoch for one dpdkr port.
+
+    Lives in the port's shared dpdkr memzone; the guest PMD bumps it on
+    every receive poll and the host only ever reads it.  Because the
+    normal channel outlives any bypass, this is the signal the
+    quarantine ladder uses to decide a degraded peer is polling again.
+    """
+
+    __slots__ = ("epoch",)
+
+    def __init__(self) -> None:
+        self.epoch = 0
+
+    def beat(self) -> None:
+        self.epoch += 1
+
+    def __repr__(self) -> str:
+        return "<PortHeartbeat epoch=%d>" % self.epoch
 
 
 class BypassStatsBlock:
@@ -26,6 +55,9 @@ class BypassStatsBlock:
         "tx_bytes",
         "flow_packets",
         "flow_bytes",
+        "rx_epoch",
+        "rx_dequeued",
+        "rx_integrity_errors",
     )
 
     def __init__(self, name: str, src_ofport: int, dst_ofport: int) -> None:
@@ -37,6 +69,17 @@ class BypassStatsBlock:
         # Per-OpenFlow-rule attribution, keyed by FlowEntry.flow_id.
         self.flow_packets: Dict[int, int] = {}
         self.flow_bytes: Dict[int, int] = {}
+        # Consumer-side liveness: bumped by the receiving PMD on every
+        # poll of the bypass ring (epoch) and every dequeue (cursor).
+        # rx_epoch > 0 is the consumer's "sign-on" — before that the
+        # watchdog has no baseline and stays quiet.
+        self.rx_epoch = 0
+        self.rx_dequeued = 0
+        # Corrupted (None) slots the consumer pulled off the ring and
+        # dropped.  Once a smashed slot is dequeued the ring looks
+        # structurally clean again, so this flag is the only way the
+        # host-side validator ever learns about it.
+        self.rx_integrity_errors = 0
 
     def account(self, flow_id: int, packets: int, byte_count: int) -> None:
         """Called by the sending PMD after each bypass TX burst."""
@@ -48,6 +91,11 @@ class BypassStatsBlock:
         self.flow_bytes[flow_id] = (
             self.flow_bytes.get(flow_id, 0) + byte_count
         )
+
+    def heartbeat(self, dequeued: int) -> None:
+        """Called by the receiving PMD after each poll of the ring."""
+        self.rx_epoch += 1
+        self.rx_dequeued += dequeued
 
     def flow_counters(self, flow_id: int) -> Tuple[int, int]:
         return (self.flow_packets.get(flow_id, 0),

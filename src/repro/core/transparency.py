@@ -22,6 +22,7 @@ from repro.core.bypass import (
     BypassManager, DEFAULT_RETRY_POLICY, RetryPolicy,
 )
 from repro.core.detector import P2PLinkDetector
+from repro.core.watchdog import DEFAULT_WATCHDOG_POLICY, WatchdogPolicy
 from repro.hypervisor.compute_agent import ComputeAgent
 from repro.openflow.table import FlowEntry
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
@@ -69,6 +70,7 @@ def enable_transparent_highway(
     ring_size: int = 1024,
     retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
     faults: Optional["FaultPlan"] = None,
+    watchdog_policy: WatchdogPolicy = DEFAULT_WATCHDOG_POLICY,
 ) -> BypassManager:
     """Retrofit ``vswitchd`` with the paper's transparent highway.
 
@@ -95,7 +97,8 @@ def enable_transparent_highway(
                                is_eligible_port=is_eligible)
     manager = BypassManager(vswitchd, agent, detector, env=env,
                             ring_size=ring_size,
-                            retry_policy=retry_policy, faults=faults)
+                            retry_policy=retry_policy, faults=faults,
+                            watchdog_policy=watchdog_policy)
     vswitchd.bridge.stats_augmentor = BypassStatsAugmentor(manager)
     # Mirror/policer/port-state changes alter port eligibility without
     # touching the flow table; re-analyse so links appear/disappear.

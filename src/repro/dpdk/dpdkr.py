@@ -45,6 +45,11 @@ class DpdkrSharedRings:
         self.to_guest: Ring = self.zone.put(
             "rx", Ring("%s.to_guest" % port_name, ring_size, RingMode.SP_SC)
         )
+        # Guest-written, host-read liveness epoch.  Imported lazily:
+        # repro.core pulls in the vswitch stack, which needs this module.
+        from repro.core.stats import PortHeartbeat
+
+        self.heartbeat = self.zone.put("heartbeat", PortHeartbeat())
 
     @classmethod
     def attach(cls, zone: Memzone) -> "DpdkrSharedRings":
@@ -54,6 +59,13 @@ class DpdkrSharedRings:
         rings.zone = zone
         rings.to_switch = zone.get("tx")
         rings.to_guest = zone.get("rx")
+        from repro.core.stats import PortHeartbeat
+
+        # Tolerate zones built before heartbeats existed (hand-rolled
+        # test fixtures): publish into a private block nobody reads.
+        rings.heartbeat = (
+            zone.get("heartbeat") if "heartbeat" in zone else PortHeartbeat()
+        )
         return rings
 
     def __repr__(self) -> str:

@@ -93,7 +93,25 @@ class VirtioSerial:
                         "reason": action.message,
                     })
         if self.env is None:
-            self._dispatch(message, to_guest=to_guest)
+            # Same NACK semantics as the simulated path: a receiver that
+            # rejects the command answers with an error reply instead of
+            # unwinding through the channel into the sender's stack.
+            try:
+                self._dispatch(message, to_guest=to_guest)
+            except Exception as error:  # noqa: BLE001 - NACK, don't crash
+                if message.command == "error":
+                    # An error reply that itself failed to deliver ends
+                    # here — NACKing a NACK would ping-pong forever.
+                    self.dropped_messages += 1
+                    return
+                reply = ControlMessage("error", {
+                    "request_id": message.args.get("request_id"),
+                    "reason": str(error),
+                })
+                if to_guest:
+                    self.guest_send(reply)
+                else:
+                    self.host_send(reply)
             return
         self.env.process(
             self._delayed_dispatch(message, to_guest, extra_delay),

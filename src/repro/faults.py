@@ -25,6 +25,8 @@ point                     where it fires
 ``serial.to_guest``       virtio-serial host -> guest message delivery
 ``serial.to_host``        virtio-serial guest -> host message delivery
 ``memzone.reserve``       bypass memzone allocation
+``pmd.rx_poll``           guest PMD receive poll (consumer freeze/stall)
+``ring.corrupt``          shared-ring slot/generation corruption on enqueue
 ========================  ====================================================
 
 Mode semantics at a point:
@@ -36,6 +38,13 @@ Mode semantics at a point:
 * ``ERROR`` — the operation fails immediately with an explicit error.
 * ``CRASH`` — where a VM is in scope (the QEMU points) the target VM is
   destroyed mid-operation; elsewhere CRASH degrades to DROP/ERROR.
+
+The two runtime data-path points reinterpret the modes locally:
+``pmd.rx_poll`` maps DROP/DELAY to skipping one poll / freezing the
+consumer for ``delay`` seconds and ERROR/CRASH to a permanent wedge;
+``ring.corrupt`` smashes the oldest occupied slot to ``None`` (CRASH
+instead bumps the ring's generation tag).  Both are documented with
+their consumers in :mod:`repro.core.pmd` and :mod:`repro.mem.ring`.
 """
 
 import enum
@@ -50,6 +59,8 @@ QEMU_UNPLUG = "qemu.unplug"
 SERIAL_TO_GUEST = "serial.to_guest"
 SERIAL_TO_HOST = "serial.to_host"
 MEMZONE_RESERVE = "memzone.reserve"
+PMD_RX_POLL = "pmd.rx_poll"
+RING_CORRUPT = "ring.corrupt"
 
 KNOWN_POINTS = (
     AGENT_RPC_SEND,
@@ -59,6 +70,8 @@ KNOWN_POINTS = (
     SERIAL_TO_GUEST,
     SERIAL_TO_HOST,
     MEMZONE_RESERVE,
+    PMD_RX_POLL,
+    RING_CORRUPT,
 )
 
 
@@ -154,6 +167,15 @@ class FaultPlan:
     @property
     def specs(self) -> List[FaultSpec]:
         return [spec for specs in self._specs.values() for spec in specs]
+
+    def has_specs(self, point: str) -> bool:
+        """True if any spec is registered at ``point``.
+
+        Data-path injection points sit on per-packet hot loops; callers
+        gate :meth:`fire` on this so an armed-but-irrelevant plan costs
+        one dict probe instead of polluting occurrence counts.
+        """
+        return bool(self._specs.get(point))
 
     # -- the hot call ------------------------------------------------------
 

@@ -57,7 +57,8 @@ class AgentRequest:
     t_tx_configured: float = 0.0
     t_drained: float = 0.0
     t_completed: float = 0.0
-    salvaged_packets: int = 0
+    salvaged_packets: int = 0     # re-homed onto the normal channel
+    lost_packets: int = 0         # normal channel full: freed, not delivered
     completed: bool = False
     error: Optional[str] = None   # set when the request aborted
     cancelled: bool = False       # the caller timed out and moved on
@@ -306,7 +307,13 @@ class ComputeAgent:
         request.completed = True
 
     def _salvage(self, request: AgentRequest, ring: Ring) -> int:
-        """Re-home packets stuck in a bypass ring onto the normal channel."""
+        """Re-home packets stuck in a bypass ring onto the normal channel.
+
+        Returns the number actually delivered; an overflowing normal
+        ring (receiver badly behind) costs the tail of the salvage,
+        counted separately in ``request.lost_packets`` — reporting those
+        as salvaged would hide real loss from the teardown's caller.
+        """
         from repro.dpdk.dpdkr import dpdkr_zone_name
 
         leftovers = ring.drain()
@@ -319,7 +326,8 @@ class ComputeAgent:
         accepted = normal_rx.enqueue_burst(leftovers)
         for mbuf in leftovers[accepted:]:
             mbuf.free()
-        return len(leftovers)
+        request.lost_packets += len(leftovers) - accepted
+        return accepted
 
     # -- simulated execution ----------------------------------------------------------
 

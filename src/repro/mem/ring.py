@@ -20,6 +20,8 @@ the C layout and stays O(1).
 import enum
 from typing import Any, List, Optional, Sequence
 
+from repro.faults import RING_CORRUPT
+
 
 class RingError(RuntimeError):
     """Base class for ring errors."""
@@ -31,6 +33,10 @@ class RingFullError(RingError):
 
 class RingEmptyError(RingError):
     """Bulk dequeue failed: not enough queued objects."""
+
+
+class RingIntegrityError(RingError):
+    """:meth:`Ring.validate` found the ring in an impossible state."""
 
 
 class RingMode(enum.Enum):
@@ -70,11 +76,20 @@ class Ring:
         self._slots: List[Any] = [None] * capacity
         self._head = 0  # next slot to write (producer index)
         self._tail = 0  # next slot to read (consumer index)
+        # Generation tag: stamped by whoever provisions the ring (the
+        # bypass manager uses the zone serial) and checked by the
+        # watchdog, so a validator holding a stale handle can tell "this
+        # memory was re-provisioned" apart from "this memory rotted".
+        self.generation = 0
         # Lifetime statistics; the PMD exports these per channel.
         self.enqueued = 0
         self.dequeued = 0
-        self.enqueue_failures = 0
+        self.enqueue_failures = 0   # burst/bulk enqueues where nothing fit
+        self.partial_enqueues = 0   # burst enqueues that fit only a prefix
         self.dequeue_failures = 0
+        # Armed by the owner for ring.corrupt injection (None = clean).
+        self.faults = None
+        self.corruptions_injected = 0
 
     # -- occupancy ---------------------------------------------------------
 
@@ -151,7 +166,13 @@ class Ring:
     # -- burst: best effort ----------------------------------------------------
 
     def enqueue_burst(self, objs: Sequence[Any]) -> int:
-        """Enqueue as many of ``objs`` as fit; returns the number enqueued."""
+        """Enqueue as many of ``objs`` as fit; returns the number enqueued.
+
+        Failure accounting distinguishes total rejection
+        (``enqueue_failures``: the consumer is not draining at all) from
+        a partial fit (``partial_enqueues``: transient backpressure) —
+        the watchdog treats only the former as a stall symptom.
+        """
         space = self.free_count
         count = min(space, len(objs))
         if count == 0:
@@ -165,8 +186,24 @@ class Ring:
         self._head = head
         self.enqueued += count
         if count < len(objs):
-            self.enqueue_failures += 1
+            self.partial_enqueues += 1
+        if self.faults is not None and self.faults.has_specs(RING_CORRUPT):
+            action = self.faults.fire(RING_CORRUPT)
+            if action is not None:
+                self._corrupt(action)
         return count
+
+    def _corrupt(self, action) -> None:
+        """Apply one injected corruption (see ``faults.RING_CORRUPT``)."""
+        from repro.faults import FaultMode
+
+        if action.mode is FaultMode.CRASH:
+            self.generation += 1
+        elif not self.is_empty:
+            self._slots[self._tail & self._mask] = None
+        else:
+            return
+        self.corruptions_injected += 1
 
     def dequeue_burst(self, max_count: int) -> List[Any]:
         """Dequeue up to ``max_count`` objects (possibly empty list)."""
@@ -200,6 +237,45 @@ class Ring:
         if self.is_empty:
             raise RingEmptyError("ring %r empty" % self.name)
         return self._slots[self._tail & self._mask]
+
+    def validate(self, expected_generation: Optional[int] = None) -> None:
+        """Check structural invariants; raise :class:`RingIntegrityError`.
+
+        Verifies head/tail bounds, that occupancy agrees with the
+        lifetime enqueue/dequeue counters, that every occupied slot
+        holds a real object, and (when given) that the generation tag
+        still matches what the validator was provisioned against.  Cost
+        is O(occupancy); the watchdog runs it once per poll interval,
+        not per packet.
+        """
+        if not 0 <= self._head < self.capacity:
+            raise RingIntegrityError(
+                "ring %r: head %d out of bounds" % (self.name, self._head)
+            )
+        if not 0 <= self._tail < self.capacity:
+            raise RingIntegrityError(
+                "ring %r: tail %d out of bounds" % (self.name, self._tail)
+            )
+        occupancy = len(self)
+        flow = self.enqueued - self.dequeued
+        if flow < 0 or flow > self.capacity - 1 or occupancy != flow:
+            raise RingIntegrityError(
+                "ring %r: occupancy %d disagrees with counters "
+                "(enqueued %d - dequeued %d)"
+                % (self.name, occupancy, self.enqueued, self.dequeued)
+            )
+        for offset in range(occupancy):
+            if self._slots[(self._tail + offset) & self._mask] is None:
+                raise RingIntegrityError(
+                    "ring %r: occupied slot %d holds None"
+                    % (self.name, (self._tail + offset) & self._mask)
+                )
+        if (expected_generation is not None
+                and self.generation != expected_generation):
+            raise RingIntegrityError(
+                "ring %r: generation %d != expected %d"
+                % (self.name, self.generation, expected_generation)
+            )
 
     def __repr__(self) -> str:
         return "<Ring %r %d/%d %s>" % (

@@ -27,6 +27,16 @@ class ResilienceCounters:
     links_recovered: int = 0       # links that went ACTIVE after >= 1 retry
     links_abandoned: int = 0       # recovery stopped (revoked / endpoint died)
     teardown_failures: int = 0     # teardowns that needed the janitor path
+    # Runtime health (the watchdog's ledger; see PROTOCOL.md
+    # "Runtime failure model").
+    stalled_consumers: int = 0     # occupancy > 0, dequeue cursor frozen
+    wedged_guests: int = 0         # heartbeat frozen, normal channel backing up
+    dead_peer_fallbacks: int = 0   # endpoint dead per agent, link still ACTIVE
+    ring_integrity_failures: int = 0  # Ring.validate() caught corruption
+    links_degraded: int = 0        # live fallbacks executed (any reason)
+    packets_salvaged: int = 0      # ring leftovers re-homed during fallback
+    degraded_readmissions: int = 0  # DEGRADED links re-admitted to bypass
+    readmissions_deferred: int = 0  # re-admission held: peer still silent
 
     def rows(self) -> List[List]:
         """``[counter, value]`` rows for :func:`~repro.metrics.format_table`."""

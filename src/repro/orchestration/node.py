@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.core.bypass import (
     BypassManager, DEFAULT_RETRY_POLICY, RetryPolicy,
 )
+from repro.core.watchdog import DEFAULT_WATCHDOG_POLICY, WatchdogPolicy
 from repro.core.pmd import DualChannelPmd, GuestPmdManager
 from repro.core.transparency import enable_transparent_highway
 from repro.dpdk.dpdkr import dpdkr_zone_name
@@ -58,6 +59,7 @@ class NfvNode:
         ring_size: int = 1024,
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
         faults: Optional["FaultPlan"] = None,
+        watchdog_policy: WatchdogPolicy = DEFAULT_WATCHDOG_POLICY,
     ) -> None:
         self.env = env
         self.costs = costs
@@ -82,6 +84,7 @@ class NfvNode:
             self.manager = enable_transparent_highway(
                 self.switch, self.agent, env=env, ring_size=ring_size,
                 retry_policy=retry_policy, faults=faults,
+                watchdog_policy=watchdog_policy,
             )
         self.vms: Dict[str, VmHandle] = {}
         self.ports: Dict[str, object] = {}  # name -> OvsPort
@@ -144,8 +147,12 @@ class NfvNode:
         self.agent.faults = plan
         if self.manager is not None:
             self.manager.faults = plan
+            for bypass_link in self.manager.active_links.values():
+                if bypass_link.ring is not None:
+                    bypass_link.ring.faults = plan
         for handle in self.vms.values():
             handle.vm.serial.faults = plan
+            handle.guest.install_faults(plan)
 
     # -- convenience --------------------------------------------------------------------
 

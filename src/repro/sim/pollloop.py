@@ -20,6 +20,13 @@ class PollLoop:
     ``iteration`` returns the simulated cost (seconds) of the work it just
     performed, or 0.0 when there was nothing to do.  The loop accounts
     busy/idle time so experiments can report core utilization.
+
+    With ``period`` set the loop is a fixed-interval housekeeping timer
+    instead of a busy-poller: iterations fire every ``period`` seconds
+    (stretched, never compressed, by a busy iteration's cost) and idle
+    iterations neither back off nor spin faster.  The bypass watchdog is
+    the canonical user — a real deployment would run it off the manager
+    thread's timerfd, not a polling core.
     """
 
     def __init__(
@@ -29,6 +36,7 @@ class PollLoop:
         iteration: Callable[[], float],
         costs: CostModel = DEFAULT_COST_MODEL,
         idle_backoff_max: float = 5e-6,
+        period: Optional[float] = None,
     ) -> None:
         self.env = env
         self.name = name
@@ -42,6 +50,9 @@ class PollLoop:
         # is a bounded extra wakeup delay (< idle_backoff_max) after an
         # idle period.
         self.idle_backoff_max = idle_backoff_max
+        if period is not None and period <= 0:
+            raise ValueError("period must be positive, got %r" % period)
+        self.period = period
         self.busy_time = 0.0
         self.idle_time = 0.0
         self.iterations = 0
@@ -77,11 +88,17 @@ class PollLoop:
         env = self.env
         idle_cost = self.costs.idle_poll
         idle_delay = idle_cost
+        period = self.period
         try:
             while not self._stopped:
                 cost = self.iteration()
                 self.iterations += 1
-                if cost > 0.0:
+                if period is not None:
+                    if cost > 0.0:
+                        self.busy_time += cost
+                    self.idle_time += max(period - cost, 0.0)
+                    yield env.timeout(max(cost, period))
+                elif cost > 0.0:
                     self.busy_time += cost
                     idle_delay = idle_cost
                     yield env.timeout(cost)

@@ -176,11 +176,12 @@ def bypass_show(vswitchd: VSwitchd, manager=None) -> str:
             continue
         lines.append(
             " %s -> %s  state=%s zone=%s flow=%d tx_packets=%d "
-            "tx_bytes=%d ring=%d/%d"
+            "tx_bytes=%d ring=%d/%d enq_fail=%d partial=%d"
             % (link.src_port_name, link.dst_port_name, link.state.value,
                link.zone_name, link.link.flow_id, link.stats.tx_packets,
                link.stats.tx_bytes, len(link.ring),
-               link.ring.capacity - 1)
+               link.ring.capacity - 1, link.ring.enqueue_failures,
+               link.ring.partial_enqueues)
         )
     removed = [link for link in manager.history
                if link not in manager.active_links.values()]
@@ -230,6 +231,54 @@ def bypass_faults(manager=None) -> str:
     return "\n".join(lines)
 
 
+def bypass_health(manager=None) -> str:
+    """``appctl bypass/health``: runtime-health view of active channels.
+
+    Renders the watchdog's per-link verdicts and streak counters, its
+    detection thresholds, the links quarantined for runtime degradation
+    (with the heartbeat gate on their re-admission), and the fallback
+    counters — the operator's one-stop answer to "is any bypass sick,
+    and what did the host do about it?".
+    """
+    if manager is None:
+        return "transparent highway: disabled"
+    watchdog = manager.watchdog
+    policy = watchdog.policy
+    lines = [
+        "bypass watchdog: %d check pass(es), %d link(s) tracked"
+        % (watchdog.checks_run, len(watchdog.health)),
+        " policy: poll_interval=%.3fs stall_polls=%d heartbeat_polls=%d "
+        "validate_ring=%s"
+        % (policy.poll_interval, policy.stall_polls,
+           policy.heartbeat_polls, "yes" if policy.validate_ring else "no"),
+    ]
+    for key, verdict, detail in watchdog.rows():
+        lines.append(" src ofport %d: %s  %s" % (key, verdict, detail))
+    counters = manager.resilience
+    lines.append("runtime fallback counters:")
+    for name in ("stalled_consumers", "wedged_guests",
+                 "dead_peer_fallbacks", "ring_integrity_failures",
+                 "links_degraded", "packets_salvaged",
+                 "degraded_readmissions", "readmissions_deferred"):
+        lines.append(" %-24s %d" % (name.replace("_", " "),
+                                    getattr(counters, name)))
+    degraded = {
+        src_ofport: record
+        for src_ofport, record in manager.quarantined_links.items()
+        if record.reason == "degraded"
+    }
+    lines.append("degraded quarantine: %d link(s)" % len(degraded))
+    for src_ofport in sorted(degraded):
+        record = degraded[src_ofport]
+        lines.append(
+            " src ofport %d -> %d  failures=%d next_attempt=%.3fs "
+            "heartbeat_mark=%s"
+            % (src_ofport, record.link.dst_ofport, record.failures,
+               record.until, record.heartbeat_mark)
+        )
+    return "\n".join(lines)
+
+
 class AppCtl:
     """Dispatcher bundling the commands (an ovs-appctl socket stand-in)."""
 
@@ -253,6 +302,7 @@ class AppCtl:
             "bypass/show": lambda: bypass_show(self.vswitchd,
                                                self.manager),
             "bypass/faults": lambda: bypass_faults(self.manager),
+            "bypass/health": lambda: bypass_health(self.manager),
         }
         handler = handlers.get(command)
         if handler is None:

@@ -228,8 +228,13 @@ class TestGuestPmdManager:
             "request_id": 1, "port_name": "dpdkr0",
             "zone_name": "bypass.test", "role": "tx", "flow_id": 3,
         })
-        with pytest.raises(Exception):
-            vm.serial.guest_handler(command)
+        # Not hotplugged yet: handle_command converts the failure into
+        # an in-band NACK carrying the request id instead of raising
+        # through the serial channel.
+        nack = vm.serial.guest_handler(command)
+        assert nack.command == "error"
+        assert nack.args["request_id"] == 1
+        assert not manager.pmd("dpdkr0").bypass_tx_active
         registry.map_into("bypass.test", "vm1")
         reply = vm.serial.guest_handler(command)
         assert reply.command == "attach_bypass_ok"
@@ -265,3 +270,166 @@ class TestGuestPmdManager:
         manager.create_pmd("dpdkr0")
         with pytest.raises(RuntimeError):
             manager.create_pmd("dpdkr0")
+
+
+class TestTxStateEdges:
+    """Teardown/establishment transitions racing each other."""
+
+    def test_attach_on_stalled_then_stale_resume(self, pmd, bypass_ring,
+                                                 stats_block):
+        from repro.core.pmd import TxState
+
+        pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=1)
+        pmd.tx_burst([mk_mbuf()])  # flips to BYPASS
+        pmd.detach_bypass_tx(stall=True)
+        assert pmd.tx_state == TxState.STALLED
+        # A fresh establishment lands while the old teardown's resume is
+        # still in flight: attach wins, arming the ordered handover.
+        fresh_ring = Ring("fresh", 64)
+        pmd.attach_bypass_tx(fresh_ring, stats_block, flow_id=2)
+        assert pmd.tx_state == TxState.PENDING_BYPASS
+        # The straggler resume must not yank the PMD back to NORMAL
+        # mid-establishment — it is rejected, state untouched.
+        with pytest.raises(RuntimeError):
+            pmd.resume_tx()
+        assert pmd.tx_state == TxState.PENDING_BYPASS
+        assert pmd.bypass_tx_ring is fresh_ring
+
+    def test_stale_resume_nacks_over_serial(self, registry):
+        # Same race, through the virtio-serial command path: the error
+        # comes back as a reply carrying the request id.
+        DpdkrSharedRings(registry, "dpdkr0")
+        hypervisor = Hypervisor(registry)
+        vm = hypervisor.create_vm("vm1",
+                                  boot_zones=[dpdkr_zone_name("dpdkr0")])
+        manager = GuestPmdManager(vm)
+        pmd = manager.create_pmd("dpdkr0")
+        pmd.attach_bypass_tx(Ring("b", 64),
+                             BypassStatsBlock("b", 1, 2), flow_id=1)
+        reply = vm.serial.guest_handler(ControlMessage("resume_tx", {
+            "request_id": 42, "port_name": "dpdkr0",
+        }))
+        assert reply.command == "error"
+        assert reply.args["request_id"] == 42
+        from repro.core.pmd import TxState
+
+        assert pmd.tx_state == TxState.PENDING_BYPASS
+
+    def test_stall_during_pending_bypass(self, pmd, bypass_ring,
+                                         stats_block):
+        from repro.core.pmd import TxState
+
+        # Packets queued toward the vSwitch keep the flip gated...
+        pmd.tx_burst([mk_mbuf()])
+        pmd.attach_bypass_tx(bypass_ring, stats_block, flow_id=1)
+        assert pmd.tx_state == TxState.PENDING_BYPASS
+        # ...and the teardown arrives before the bypass ever carried a
+        # packet.  The stall must still hold the sender (the host is
+        # about to re-home rings), and nothing was double-counted.
+        pmd.detach_bypass_tx(stall=True)
+        assert pmd.tx_state == TxState.STALLED
+        refused = mk_mbuf()
+        assert pmd.tx_burst([refused]) == 0
+        assert pmd.tx_stall_rejects == 1
+        pmd.resume_tx()
+        assert pmd.tx_state == TxState.NORMAL
+        assert pmd.tx_via_bypass == 0
+        assert bypass_ring.is_empty
+
+
+class TestRxFairness:
+    def test_rotation_only_advances_past_served_ring(self, pmd):
+        # Regression: the rotation used to advance on every poll, so
+        # with two peers and one always-busy ring the start index could
+        # re-align with the busy ring every time, starving the other.
+        busy = Ring("busy", 64)
+        quiet = Ring("quiet", 64)
+        pmd.attach_bypass_rx(busy)
+        pmd.attach_bypass_rx(quiet)
+        for _ in range(8):
+            busy.enqueue(mk_mbuf())
+        quiet.enqueue(mk_mbuf())
+        # Small bursts: only the first ring in rotation order is served.
+        first = pmd.rx_burst(1)
+        assert len(first) == 1
+        # The next poll must start from the *other* ring, so the quiet
+        # peer's lone packet gets through even though busy still has 7.
+        second = pmd.rx_burst(1)
+        assert len(second) == 1
+        assert quiet.is_empty
+
+    def test_empty_poll_does_not_burn_a_turn(self, pmd):
+        lone = Ring("lone", 64)
+        other = Ring("other", 64)
+        pmd.attach_bypass_rx(lone)
+        pmd.attach_bypass_rx(other)
+        assert pmd.rx_burst(4) == []  # both empty: rotation unchanged
+        lone.enqueue(mk_mbuf())
+        assert len(pmd.rx_burst(4)) == 1  # ring 0 still first in line
+
+
+class TestRxHeartbeat:
+    def test_every_poll_heartbeats_port_and_channel(self, pmd, bypass_ring,
+                                                    stats_block):
+        pmd.attach_bypass_rx(bypass_ring, stats_block)
+        assert pmd.rings.heartbeat.epoch == 0
+        pmd.rx_burst(4)  # empty poll still proves liveness
+        assert pmd.rings.heartbeat.epoch == 1
+        assert stats_block.rx_epoch == 1
+        assert stats_block.rx_dequeued == 0
+        bypass_ring.enqueue(mk_mbuf())
+        bypass_ring.enqueue(mk_mbuf())
+        pmd.rx_burst(4)
+        assert pmd.rings.heartbeat.epoch == 2
+        assert stats_block.rx_epoch == 2
+        assert stats_block.rx_dequeued == 2
+
+    def test_frozen_consumer_publishes_nothing(self, pmd, bypass_ring,
+                                               stats_block):
+        from repro.faults import PMD_RX_POLL, FaultMode, FaultPlan
+
+        pmd.attach_bypass_rx(bypass_ring, stats_block)
+        plan = FaultPlan(seed=1)
+        plan.inject(PMD_RX_POLL, FaultMode.ERROR, occurrences=(2,))
+        pmd.faults = plan
+        pmd.rx_burst(4)
+        assert stats_block.rx_epoch == 1
+        bypass_ring.enqueue(mk_mbuf())
+        # Occurrence 2 wedges the consumer permanently: no heartbeat, no
+        # dequeue, on this poll or any later one.
+        assert pmd.rx_burst(4) == []
+        assert pmd.rx_burst(4) == []
+        assert stats_block.rx_epoch == 1
+        assert len(bypass_ring) == 1
+
+    def test_delay_freeze_thaws_with_the_clock(self, pmd, bypass_ring,
+                                               stats_block):
+        from repro.faults import PMD_RX_POLL, FaultMode, FaultPlan
+
+        now = [0.0]
+        pmd.clock = lambda: now[0]
+        pmd.attach_bypass_rx(bypass_ring, stats_block)
+        plan = FaultPlan(seed=1)
+        plan.inject(PMD_RX_POLL, FaultMode.DELAY, occurrences=(1,),
+                    delay=0.5)
+        pmd.faults = plan
+        bypass_ring.enqueue(mk_mbuf())
+        assert pmd.rx_burst(4) == []   # freeze begins
+        now[0] = 0.4
+        assert pmd.rx_burst(4) == []   # still frozen
+        now[0] = 0.6
+        assert len(pmd.rx_burst(4)) == 1  # thawed, drains normally
+        assert stats_block.rx_dequeued == 1
+
+
+class TestChannelStats:
+    def test_channel_stats_surfaces_ring_accounting(self, pmd, stats_block):
+        tiny = Ring("tiny", 4)
+        pmd.attach_bypass_tx(tiny, stats_block, flow_id=1)
+        pmd.tx_burst([mk_mbuf() for _ in range(5)])  # 3 fit: partial
+        pmd.tx_burst([mk_mbuf()])                    # 0 fit: failure
+        stats = pmd.channel_stats()
+        assert stats["bypass_partial_enqueues"] == 1
+        assert stats["bypass_enqueue_failures"] == 1
+        assert stats["tx_via_bypass"] == 3
+        assert stats["normal_enqueue_failures"] == 0

@@ -120,10 +120,23 @@ class TestVirtioSerial:
         channel.host_send(ControlMessage("ping", {"request_id": 1}))
         assert log == [("guest", "ping"), ("host", "ok")]
 
-    def test_no_handler_raises(self):
+    def test_no_handler_nacks_instead_of_raising(self):
+        # Sync mode mirrors the simulated path: a delivery failure comes
+        # back as an in-band error reply, never as an exception through
+        # the sender's stack.
         channel = VirtioSerial("vm1.serial")
-        with pytest.raises(RuntimeError):
-            channel.host_send(ControlMessage("ping"))
+        nacks = []
+        channel.host_handler = lambda m: nacks.append(m) or None
+        channel.host_send(ControlMessage("ping", {"request_id": 7}))
+        assert [m.command for m in nacks] == ["error"]
+        assert nacks[0].args["request_id"] == 7
+
+    def test_no_handler_on_either_side_drops_the_nack(self):
+        # When even the NACK cannot be delivered, the channel swallows
+        # it (counting a drop) instead of ping-ponging errors forever.
+        channel = VirtioSerial("vm1.serial")
+        channel.host_send(ControlMessage("ping"))
+        assert channel.dropped_messages == 1
 
     def test_latency_applied(self):
         env = Environment()

@@ -92,7 +92,10 @@ class TestBurst:
         ring = Ring("r", capacity=8)
         accepted = ring.enqueue_burst(list(range(10)))
         assert accepted == 7
-        assert ring.enqueue_failures == 1
+        # A burst that fit *partially* is back-pressure, not an outright
+        # failure — the two are accounted separately.
+        assert ring.partial_enqueues == 1
+        assert ring.enqueue_failures == 0
         assert ring.dequeue_burst(16) == list(range(7))
 
     def test_burst_empty_dequeue(self):
@@ -103,6 +106,8 @@ class TestBurst:
         ring = Ring("r", capacity=4)
         ring.enqueue_burst([1, 2, 3])
         assert ring.enqueue_burst([4]) == 0
+        assert ring.enqueue_failures == 1
+        assert ring.partial_enqueues == 0
 
     def test_burst_enqueue_nothing(self):
         ring = Ring("r", capacity=4)
@@ -141,3 +146,68 @@ class TestMaintenance:
 
     def test_mode_recorded(self):
         assert Ring("r", mode=RingMode.MP_MC).mode is RingMode.MP_MC
+
+
+class TestIntegrity:
+    def test_validate_clean_ring(self):
+        ring = Ring("r", capacity=8)
+        ring.enqueue_bulk([1, 2, 3])
+        ring.dequeue()
+        ring.validate()  # no exception
+        ring.validate(expected_generation=0)
+
+    def test_validate_catches_smashed_slot(self):
+        from repro.mem.ring import RingIntegrityError
+
+        ring = Ring("r", capacity=8)
+        ring.enqueue_bulk([1, 2, 3])
+        ring._slots[ring._tail & ring._mask] = None  # bit-rot the head
+        with pytest.raises(RingIntegrityError):
+            ring.validate()
+
+    def test_validate_catches_counter_drift(self):
+        from repro.mem.ring import RingIntegrityError
+
+        ring = Ring("r", capacity=8)
+        ring.enqueue_bulk([1, 2])
+        ring.enqueued += 5  # occupancy no longer matches the counters
+        with pytest.raises(RingIntegrityError):
+            ring.validate()
+
+    def test_validate_catches_generation_mismatch(self):
+        from repro.mem.ring import RingIntegrityError
+
+        ring = Ring("r", capacity=8)
+        ring.generation = 3
+        ring.validate(expected_generation=3)
+        ring.generation = 4  # memory was re-provisioned under us
+        with pytest.raises(RingIntegrityError):
+            ring.validate(expected_generation=3)
+
+    def test_corruption_fault_smashes_oldest_slot(self):
+        from repro.faults import RING_CORRUPT, FaultMode, FaultPlan
+        from repro.mem.ring import RingIntegrityError
+
+        ring = Ring("r", capacity=8)
+        ring.faults = FaultPlan(seed=1, specs=[])
+        ring.faults.inject(RING_CORRUPT, FaultMode.ERROR, occurrences=(2,))
+        assert ring.enqueue_burst([1]) == 1
+        ring.validate()  # occurrence 1: clean
+        assert ring.enqueue_burst([2]) == 1
+        assert ring.corruptions_injected == 1
+        with pytest.raises(RingIntegrityError):
+            ring.validate()
+
+    def test_crash_mode_bumps_generation(self):
+        from repro.faults import RING_CORRUPT, FaultMode, FaultPlan
+        from repro.mem.ring import RingIntegrityError
+
+        ring = Ring("r", capacity=8)
+        ring.generation = 7
+        ring.faults = FaultPlan(seed=1, specs=[])
+        ring.faults.inject(RING_CORRUPT, FaultMode.CRASH, occurrences=(1,))
+        ring.enqueue_burst([1])
+        assert ring.generation == 8
+        ring.validate()  # structurally fine...
+        with pytest.raises(RingIntegrityError):
+            ring.validate(expected_generation=7)  # ...but re-provisioned
