@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Validate the observability artifacts a run wrote with ``--obs-out``.
+
+The CI obs-smoke job runs a short traced experiment, points this script
+at the artifact directory, and fails the job unless:
+
+* ``metrics.prom`` parses under the Prometheus text grammar and carries
+  the families the paper's story depends on (datapath, poll loops,
+  resilience);
+* ``snapshots.jsonl`` round-trips as JSON Lines snapshots with
+  monotone timestamps;
+* ``traces.jsonl`` holds well-formed traces, at least one of which
+  proves the bypass path (``bypass-ring`` hop, no classifier hop);
+* ``report.txt`` contains all four report sections.
+
+Usage: ``python scripts/validate_obs_artifacts.py <artifact-dir>``
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.obs.export import (  # noqa: E402
+    parse_jsonl_snapshots,
+    validate_prometheus_text,
+)
+
+REQUIRED_METRIC_PREFIXES = (
+    "repro_datapath_packets_processed",
+    "repro_pollloop_busy_cycles",
+    "repro_resilience_total",
+    "coverage_total",
+)
+
+SWITCH_PATH_HOPS = {"switch-rx", "emc", "classifier", "upcall",
+                    "switch-tx"}
+
+REPORT_SECTIONS = ("pmd/stats-show", "coverage/show", "trace/dump",
+                   "metrics/dump")
+
+
+def fail(message):
+    print("FAIL: %s" % message, file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_metrics(path):
+    with open(path) as handle:
+        text = handle.read()
+    count = validate_prometheus_text(text)
+    for prefix in REQUIRED_METRIC_PREFIXES:
+        if prefix not in text:
+            fail("%s: missing metric family %r" % (path, prefix))
+    print("ok: %s (%d sample lines)" % (path, count))
+
+
+def check_snapshots(path):
+    with open(path) as handle:
+        snapshots = parse_jsonl_snapshots(handle.read())
+    if not snapshots:
+        fail("%s: no snapshots" % path)
+    times = [snap["time"] for snap in snapshots]
+    if times != sorted(times):
+        fail("%s: snapshot timestamps not monotone" % path)
+    print("ok: %s (%d snapshots)" % (path, len(snapshots)))
+
+
+def check_traces(path):
+    bypassed = 0
+    total = 0
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            if not line.strip():
+                continue
+            trace = json.loads(line)
+            for key in ("trace_id", "seq", "start", "spans"):
+                if key not in trace:
+                    fail("%s line %d: trace missing %r"
+                         % (path, lineno, key))
+            hops = [span["hop"] for span in trace["spans"]]
+            if not hops or hops[0] != "ingress" or hops[-1] != "sink":
+                fail("%s line %d: trace not ingress..sink: %r"
+                     % (path, lineno, hops))
+            total += 1
+            if "bypass-ring" in hops:
+                if SWITCH_PATH_HOPS & set(hops):
+                    fail("%s line %d: bypassed packet also shows "
+                         "switch hops %r" % (path, lineno, hops))
+                bypassed += 1
+    if total == 0:
+        fail("%s: no traces" % path)
+    if bypassed == 0:
+        fail("%s: no trace proves the bypass path" % path)
+    print("ok: %s (%d traces, %d via bypass)" % (path, total, bypassed))
+
+
+def check_report(path):
+    with open(path) as handle:
+        text = handle.read()
+    for section in REPORT_SECTIONS:
+        if section not in text:
+            fail("%s: missing section %r" % (path, section))
+    print("ok: %s" % path)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    out_dir = argv[1]
+    check_metrics(os.path.join(out_dir, "metrics.prom"))
+    check_snapshots(os.path.join(out_dir, "snapshots.jsonl"))
+    check_traces(os.path.join(out_dir, "traces.jsonl"))
+    check_report(os.path.join(out_dir, "report.txt"))
+    print("all observability artifacts valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

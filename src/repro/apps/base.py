@@ -51,6 +51,11 @@ class DpdkApp:
         self.burst_size = burst_size
         self.cost_multiplier = cost_multiplier
         self.loop: Optional[PollLoop] = None
+        # Optional repro.obs.cycles.StageAccounting: when set, each
+        # iteration attributes its cost to rx_normal / rx_bypass /
+        # housekeeping by asking the dual-channel PMD which channel the
+        # burst actually arrived on (pmd/stats-show for guest cores).
+        self.stages = None
 
     # -- processing hook ------------------------------------------------------
 
@@ -66,17 +71,34 @@ class DpdkApp:
 
     def iteration(self) -> float:
         total_cost = 0.0
+        stages = self.stages
         for pair in self.pairs:
-            mbufs = pair.rx.rx_burst(self.burst_size)
+            rx = pair.rx
+            if stages is not None:
+                bypass_before = getattr(rx, "rx_via_bypass", 0)
+                normal_before = getattr(rx, "rx_via_normal", 0)
+            mbufs = rx.rx_burst(self.burst_size)
             if not mbufs:
                 continue
             pair.rx_count += len(mbufs)
             out = self.process(mbufs, pair)
+            per_packet = (self.costs.vm_forward * self.cost_multiplier
+                          + pair.tx.tx_extra_cost)
             total_cost += (
-                self.costs.burst_overhead
-                + len(mbufs) * (self.costs.vm_forward * self.cost_multiplier
-                                + pair.tx.tx_extra_cost)
+                self.costs.burst_overhead + len(mbufs) * per_packet
             )
+            if stages is not None:
+                bypass = getattr(rx, "rx_via_bypass", 0) - bypass_before
+                normal = getattr(rx, "rx_via_normal", 0) - normal_before
+                if not (bypass or normal):
+                    normal = len(mbufs)  # plain single-channel port
+                stages.add("housekeeping", self.costs.burst_overhead)
+                if normal:
+                    stages.add("rx_normal", normal * per_packet,
+                               packets=normal)
+                if bypass:
+                    stages.add("rx_bypass", bypass * per_packet,
+                               packets=bypass)
             if out:
                 sent = pair.tx.tx_burst(out)
                 pair.tx_count += sent

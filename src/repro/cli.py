@@ -13,6 +13,8 @@ simulate.
 """
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -33,36 +35,78 @@ def _parse_range(text: str) -> List[int]:
     return [int(part) for part in text.split(",")]
 
 
+def _write_obs_artifacts(obs, out_dir: str) -> None:
+    """Dump one experiment's observability state: Prometheus text,
+    JSONL snapshots, finished traces and the rendered report."""
+    from repro.obs.export import prometheus_text
+
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "metrics.prom"), "w") as handle:
+        handle.write(prometheus_text(obs.registry))
+    with open(os.path.join(out_dir, "snapshots.jsonl"), "w") as handle:
+        handle.write(obs.snapshotter.to_jsonl())
+    with open(os.path.join(out_dir, "traces.jsonl"), "w") as handle:
+        for trace in obs.tracer.finished:
+            handle.write(json.dumps(trace.as_dict()) + "\n")
+    with open(os.path.join(out_dir, "report.txt"), "w") as handle:
+        handle.write(obs.report() + "\n")
+
+
+def _emit_obs(args: argparse.Namespace, experiment) -> None:
+    obs = experiment.obs if experiment is not None else None
+    if obs is None:
+        return
+    if getattr(args, "obs_out", None):
+        obs.snapshot_now()
+        _write_obs_artifacts(obs, args.obs_out)
+        print("observability artifacts written to %s" % args.obs_out,
+              file=sys.stderr)
+    if getattr(args, "obs_report", False):
+        print(obs.report())
+
+
 def cmd_fig3(args: argparse.Namespace, memory_only: bool) -> int:
     rows = []
+    last_experiment = None
     for num_vms in args.lengths:
         line = [num_vms]
         for bypass in (False, True):
-            result = ChainExperiment(
+            experiment = ChainExperiment(
                 num_vms=num_vms,
                 bypass=bypass,
                 memory_only=memory_only,
                 duration=args.duration,
                 frame_size=args.frame_size,
-            ).run()
+                trace_sample=args.trace_sample,
+                snapshot_period=args.snapshot_period,
+            )
+            result = experiment.run()
             line.append(round(result.throughput_mpps, 3))
+            last_experiment = experiment
         rows.append(line)
         print("  %d VMs done" % num_vms, file=sys.stderr)
     print(format_table(
         ["# VMs", "traditional Mpps", "our approach Mpps"], rows
     ))
+    _emit_obs(args, last_experiment)
     return 0
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
     rows = []
+    last_experiment = None
     for num_vms in args.lengths:
         vanilla = ChainExperiment(num_vms=num_vms, bypass=False,
                                   duration=args.duration,
                                   source_rate_pps=args.rate).run()
-        ours = ChainExperiment(num_vms=num_vms, bypass=True,
-                               duration=args.duration,
-                               source_rate_pps=args.rate).run()
+        experiment = ChainExperiment(
+            num_vms=num_vms, bypass=True, duration=args.duration,
+            source_rate_pps=args.rate,
+            trace_sample=args.trace_sample,
+            snapshot_period=args.snapshot_period,
+        )
+        ours = experiment.run()
+        last_experiment = experiment
         improvement = 1 - ours.mean_latency / vanilla.mean_latency
         rows.append([num_vms, round(vanilla.mean_latency * 1e6, 2),
                      round(ours.mean_latency * 1e6, 2),
@@ -70,6 +114,7 @@ def cmd_latency(args: argparse.Namespace) -> int:
     print(format_table(
         ["# VMs", "traditional us", "ours us", "improvement"], rows
     ))
+    _emit_obs(args, last_experiment)
     return 0
 
 
@@ -134,6 +179,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--duration", type=float, default=0.002,
                        help="simulated seconds per run")
         p.add_argument("--frame-size", type=int, default=64)
+        p.add_argument("--trace-sample", type=int, default=None,
+                       metavar="N",
+                       help="trace 1-in-N packets (default: off)")
+        p.add_argument("--snapshot-period", type=float, default=None,
+                       metavar="SECONDS",
+                       help="periodic metrics snapshots (simulated "
+                            "seconds; default: off)")
+        p.add_argument("--obs-report", action="store_true",
+                       help="print the observability report after the "
+                            "last run")
+        p.add_argument("--obs-out", default=None, metavar="DIR",
+                       help="write metrics.prom / snapshots.jsonl / "
+                            "traces.jsonl / report.txt for the last run")
 
     p3a = sub.add_parser("fig3a", help="Figure 3(a): memory-only chains")
     common(p3a, _parse_range("2:8"))

@@ -180,6 +180,12 @@ class BypassManager:
         self.stats_blocks: List[BypassStatsBlock] = []
         self.on_link_active: List[Callable[[BypassLink], None]] = []
         self.on_link_removed: List[Callable[[BypassLink], None]] = []
+        # Runtime-health lifecycle hooks: (link, verdict) on live
+        # fallback, (link) on heartbeat-gated re-admission, (src ofport)
+        # when a re-admission is deferred by a silent peer.
+        self.on_link_degraded: List[Callable] = []
+        self.on_link_readmitted: List[Callable[[BypassLink], None]] = []
+        self.on_readmission_deferred: List[Callable[[int], None]] = []
         # FIFO worker queue (simulation mode).
         self._ops: List = []
         self._ops_available = None
@@ -511,6 +517,8 @@ class BypassManager:
             self.resilience.links_recovered += 1
         if record is not None and record.reason == "degraded":
             self.resilience.degraded_readmissions += 1
+            for callback in self.on_link_readmitted:
+                callback(bypass_link)
         self._update_port_flags()
         for callback in self.on_link_active:
             callback(bypass_link)
@@ -568,6 +576,8 @@ class BypassManager:
             # backoff (the record keeps its failure count — a silent
             # peer must not reset the ladder).
             self.resilience.readmissions_deferred += 1
+            for callback in self.on_readmission_deferred:
+                callback(key)
             record.until = self._now() + delay
             self.env.process(
                 self._quarantine_reattempt(key, record, delay),
@@ -644,6 +654,8 @@ class BypassManager:
         elif verdict == HealthState.CORRUPT:
             res.ring_integrity_failures += 1
         res.links_degraded += 1
+        for callback in self.on_link_degraded:
+            callback(bypass_link, verdict)
         bypass_link.state = LinkState.TEARING_DOWN
         bypass_link.t_teardown_started = self._now()
         src = bypass_link.src_port_name

@@ -264,6 +264,10 @@ class DualChannelPmd(DpdkrPmd):
         if self.ordered_handover:
             mbufs = self.rings.to_guest.dequeue_burst(max_count)
             self.rx_via_normal += len(mbufs)
+            for mbuf in mbufs:
+                if mbuf.trace is not None:
+                    mbuf.trace.add(self._trace_now(), "guest-rx",
+                                   channel="normal", port=self.name)
         ring_count = len(self.bypass_rx_rings)
         if ring_count:
             # Fairness rotation: start from where the last *served* poll
@@ -300,6 +304,11 @@ class DualChannelPmd(DpdkrPmd):
                     if first_served is None:
                         first_served = index
                     self.rx_via_bypass += len(got)
+                    for mbuf in got:
+                        if mbuf.trace is not None:
+                            mbuf.trace.add(self._trace_now(), "guest-rx",
+                                           channel="bypass",
+                                           port=self.name)
                     mbufs.extend(got)
             if first_served is not None:
                 self._rx_rotation = (first_served + 1) % ring_count
@@ -337,6 +346,14 @@ class DualChannelPmd(DpdkrPmd):
         if sent and self.bypass_tx_ring.above_watermark:
             self.bypass_congestion_events += 1
         if sent:
+            now = self._trace_now()
+            for index in range(sent):
+                if mbufs[index].trace is not None:
+                    mbufs[index].trace.add(now, "guest-tx",
+                                           channel="bypass",
+                                           port=self.name)
+                    mbufs[index].trace.add(now, "bypass-ring",
+                                           ring=self.bypass_tx_ring.name)
             byte_count = sum(
                 mbufs[index].wire_length for index in range(sent)
             )

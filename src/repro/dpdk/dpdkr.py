@@ -90,6 +90,10 @@ class DpdkrPmd(EthDev):
         if mbufs:
             self.stats.ipackets += len(mbufs)
             self.stats.ibytes += sum(m.wire_length for m in mbufs)
+            for mbuf in mbufs:
+                if mbuf.trace is not None:
+                    mbuf.trace.add(self._trace_now(), "guest-rx",
+                                   channel="normal", port=self.name)
         return mbufs
 
     def tx_burst(self, mbufs: List[Mbuf]) -> int:
@@ -99,6 +103,11 @@ class DpdkrPmd(EthDev):
             self.stats.obytes += sum(
                 mbufs[index].wire_length for index in range(sent)
             )
+            for index in range(sent):
+                if mbufs[index].trace is not None:
+                    mbufs[index].trace.add(self._trace_now(), "guest-tx",
+                                           channel="normal",
+                                           port=self.name)
         if sent < len(mbufs):
             self.stats.oerrors += len(mbufs) - sent
         return sent

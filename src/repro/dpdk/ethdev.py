@@ -31,6 +31,13 @@ class DevStats:
 class EthDev:
     """Abstract port device."""
 
+    # Simulation clock (set by whoever wires the device into an env);
+    # only consulted when stamping path-trace spans.
+    clock = None
+
+    def _trace_now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
     @property
     def tx_extra_cost(self) -> float:
         """Extra per-packet CPU cost the sender pays on this device.

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.apps.forwarder import ForwarderApp
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.rates import to_mpps
+from repro.obs.cycles import StageAccounting
 from repro.orchestration.node import NfvNode
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import Environment
@@ -94,6 +95,8 @@ class ChainExperiment:
         burst_size: int = 32,
         emc_enabled: bool = True,
         accounting_enabled: bool = True,
+        trace_sample: Optional[int] = None,
+        snapshot_period: Optional[float] = None,
     ) -> None:
         min_vms = 2 if memory_only else 1
         if num_vms < min_vms:
@@ -115,11 +118,18 @@ class ChainExperiment:
         self.burst_size = burst_size
         self.emc_enabled = emc_enabled
         self.accounting_enabled = accounting_enabled
+        self.trace_sample = trace_sample
+        self.snapshot_period = snapshot_period
         self.env: Optional[Environment] = None
         self.node: Optional[NfvNode] = None
         self.apps: List = []
         self.sources: List = []
         self.sinks: Dict[str, object] = {}
+
+    @property
+    def obs(self):
+        """The node's observability plane (available after build())."""
+        return self.node.obs if self.node is not None else None
 
     # -- topology -----------------------------------------------------------
 
@@ -134,6 +144,7 @@ class ChainExperiment:
             n_pmd_cores=self.n_ovs_cores,
             highway_enabled=self.bypass,
             ring_size=self.ring_size,
+            trace_sample_interval=self.trace_sample,
         )
         self.node.switch.datapath.burst_size = self.burst_size
         self.node.switch.datapath.emc_enabled = self.emc_enabled
@@ -167,6 +178,8 @@ class ChainExperiment:
 
     def _build_endpoints(self) -> None:
         profile = uniform_profile(self.frame_size, flows=self.flows)
+        tracer = (self.node.obs.tracer
+                  if self.trace_sample is not None else None)
         if self.memory_only:
             first, last = 1, self.num_vms
             first_handle = self.node.vms["vm%d" % first]
@@ -176,7 +189,7 @@ class ChainExperiment:
                 "src.fw", first_handle.pmd(self._port(first, 1)),
                 profile=profile, costs=self.costs,
                 rate_pps=self.source_rate_pps,
-                burst_size=self.burst_size,
+                burst_size=self.burst_size, tracer=tracer,
             ))
             self.sinks["forward"] = SinkApp(
                 "sink.fw", last_handle.pmd(self._port(last, 0)),
@@ -187,7 +200,7 @@ class ChainExperiment:
                 "src.rv", last_handle.pmd(self._port(last, 0)),
                 profile=profile, costs=self.costs,
                 rate_pps=self.source_rate_pps,
-                burst_size=self.burst_size,
+                burst_size=self.burst_size, tracer=tracer,
             ))
             self.sinks["reverse"] = SinkApp(
                 "sink.rv", first_handle.pmd(self._port(first, 1)),
@@ -227,25 +240,31 @@ class ChainExperiment:
                 % (expected_bypasses, node.active_bypasses)
             )
         # Phase 2: start the data plane.
+        obs = node.obs
         for app in self.apps:
-            app.start(env)
+            app.stages = StageAccounting()
+            obs.register_poll_loop(app.start(env), app.stages)
         if self.memory_only:
             for sink in self.sinks.values():
-                sink.start(env)
+                obs.register_poll_loop(sink.start(env))
             for source in self.sources:
-                source.start(env)
+                obs.register_poll_loop(source.start(env))
         else:
+            tracer = (obs.tracer
+                      if self.trace_sample is not None else None)
             profile = uniform_profile(self.frame_size, flows=self.flows)
             self.sinks["forward"] = WireSink(env, self.node.nics["nic1"])
             self.sinks["reverse"] = WireSink(env, self.node.nics["nic0"])
             self.sources.append(WireSource(
                 env, self.node.nics["nic0"], profile=profile,
-                load=self.wire_load,
+                load=self.wire_load, tracer=tracer,
             ))
             self.sources.append(WireSource(
                 env, self.node.nics["nic1"], profile=profile,
-                load=self.wire_load,
+                load=self.wire_load, tracer=tracer,
             ))
+        if self.snapshot_period is not None:
+            obs.start_snapshotting(env, period=self.snapshot_period)
         # Warmup, then the measurement window.
         warmup_end = env.now + duration * self.warmup_fraction
         env.run(until=warmup_end)
@@ -253,6 +272,8 @@ class ChainExperiment:
         fw0 = self.sinks["forward"].received
         rv0 = self.sinks["reverse"].received
         env.run(until=warmup_end + duration)
+        if self.snapshot_period is not None:
+            node.obs.snapshot_now()  # final registry state, post-run
         return self._collect(duration, fw0, rv0)
 
     def _collect(self, duration: float, fw0: int, rv0: int) -> ChainResult:

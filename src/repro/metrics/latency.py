@@ -22,16 +22,26 @@ class LatencyRecorder:
         self._reservoir: List[float] = []
         self.count = 0
         self.total = 0.0
-        self.min_value = float("inf")
-        self.max_value = 0.0
+        # Internal extrema; the public min_value/max_value properties
+        # report 0.0 on an empty recorder instead of the inf sentinel.
+        self._min = float("inf")
+        self._max = 0.0
+
+    @property
+    def min_value(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max_value(self) -> float:
+        return self._max if self.count else 0.0
 
     def record(self, value: float) -> None:
         self.count += 1
         self.total += value
-        if value < self.min_value:
-            self.min_value = value
-        if value > self.max_value:
-            self.max_value = value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
         if len(self._reservoir) < self.reservoir_size:
             self._reservoir.append(value)
             return
@@ -62,7 +72,14 @@ class LatencyRecorder:
         return self.percentile(0.99)
 
     def merge(self, other: "LatencyRecorder") -> None:
-        """Fold another recorder's population into this one."""
+        """Fold another recorder's population into this one.
+
+        Merging an empty recorder is a strict no-op — it must not
+        disturb the extrema (an empty source has no minimum to
+        contribute, only its init sentinel).
+        """
+        if other.count == 0:
+            return
         for value in other._reservoir:
             self.record(value)
         # Adjust population stats beyond the sampled values.
@@ -70,8 +87,17 @@ class LatencyRecorder:
         if extra > 0:
             self.count += extra
             self.total += other.mean * extra
-        self.min_value = min(self.min_value, other.min_value)
-        self.max_value = max(self.max_value, other.max_value)
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def summary(self) -> str:
+        """One-line human summary; ``-`` marks an empty recorder."""
+        if not self.count:
+            return "latency: - (no samples)"
+        return ("latency: n=%d mean=%.2fus min=%.2fus p50=%.2fus "
+                "p99=%.2fus max=%.2fus"
+                % (self.count, self.mean * 1e6, self.min_value * 1e6,
+                   self.p50 * 1e6, self.p99 * 1e6, self.max_value * 1e6))
 
     def __repr__(self) -> str:
         if not self.count:

@@ -30,7 +30,21 @@ class RateMeter:
         return list(self._samples)
 
     def rate_between(self, start_index: int, end_index: int) -> float:
-        """Packets/second between two samples."""
+        """Packets/second between two samples.
+
+        Indices follow Python sequence semantics: negative values count
+        from the newest sample (``-1`` is the latest), so
+        ``rate_between(0, -1)`` is the whole-run rate.  Out-of-range
+        indices raise :class:`IndexError` with the meter's name and
+        sample count rather than a bare list error.
+        """
+        total = len(self._samples)
+        for index in (start_index, end_index):
+            if not -total <= index < total:
+                raise IndexError(
+                    "%s: sample index %d out of range (%d samples)"
+                    % (self.name, index, total)
+                )
         t0, c0 = self._samples[start_index]
         t1, c1 = self._samples[end_index]
         if t1 <= t0:
@@ -48,3 +62,20 @@ class RateMeter:
             self.rate_between(index, index + 1)
             for index in range(len(self._samples) - 1)
         ]
+
+    def steady_state_rate(self, skip_head: int = 1,
+                          skip_tail: int = 0) -> float:
+        """The rate with warmup and drain windows excluded.
+
+        ``skip_head`` samples are dropped from the front (ramp-up) and
+        ``skip_tail`` from the back (drain); the rate is computed
+        between the first and last survivors.  Falls back to
+        :attr:`overall_rate` when fewer than two samples would remain.
+        """
+        if skip_head < 0 or skip_tail < 0:
+            raise ValueError("skip counts must be non-negative")
+        remaining = len(self._samples) - skip_head - skip_tail
+        if remaining < 2:
+            return self.overall_rate
+        return self.rate_between(skip_head,
+                                 len(self._samples) - 1 - skip_tail)

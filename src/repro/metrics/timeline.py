@@ -7,6 +7,7 @@ can be wired to the detector/manager callbacks in one call, and renders
 as aligned text.
 """
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -27,19 +28,27 @@ class TimelineEvent:
 
 
 class EventTimeline:
-    """An append-only trace with a clock and text rendering."""
+    """A bounded event trace with a clock and text rendering.
+
+    The buffer is a ring keeping the MOST RECENT ``max_events`` records:
+    a long-running experiment that overflows loses its oldest history,
+    not the transitions that just happened (which are invariably the
+    ones being debugged).  ``dropped`` counts the discarded prefix and
+    :meth:`render` announces it.
+    """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
                  max_events: int = 100000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
         self.clock = clock or (lambda: 0.0)
         self.max_events = max_events
-        self.events: List[TimelineEvent] = []
+        self.events: "deque[TimelineEvent]" = deque(maxlen=max_events)
         self.dropped = 0
 
     def record(self, name: str, **attributes) -> None:
-        if len(self.events) >= self.max_events:
-            self.dropped += 1
-            return
+        if len(self.events) == self.max_events:
+            self.dropped += 1  # deque evicts the oldest on append
         self.events.append(
             TimelineEvent(self.clock(), name, attributes)
         )
@@ -62,7 +71,11 @@ class EventTimeline:
         return durations
 
     def render(self) -> str:
-        return "\n".join(event.render() for event in self.events)
+        lines = []
+        if self.dropped:
+            lines.append("... %d earlier events dropped" % self.dropped)
+        lines.extend(event.render() for event in self.events)
+        return "\n".join(lines)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -95,5 +108,22 @@ def attach_highway_tracing(timeline: EventTimeline, detector,
             # stats is None when provisioning itself failed (injected
             # memzone faults): the link carried nothing.
             carried=bl.stats.tx_packets if bl.stats is not None else 0,
+        )
+    )
+    manager.on_link_degraded.append(
+        lambda bl, verdict: timeline.record(
+            "bypass-degraded", src=bl.link.src_ofport,
+            dst=bl.link.dst_ofport, verdict=verdict.value,
+        )
+    )
+    manager.on_readmission_deferred.append(
+        lambda src_ofport: timeline.record(
+            "bypass-readmission-deferred", src=src_ofport,
+        )
+    )
+    manager.on_link_readmitted.append(
+        lambda bl: timeline.record(
+            "bypass-readmitted", src=bl.link.src_ofport,
+            dst=bl.link.dst_ofport,
         )
     )

@@ -1,0 +1,279 @@
+"""The unified observability plane: one object per host (or per run).
+
+:class:`Observability` bundles the metrics registry, the coverage
+counters, the sampled path tracer, the per-PMD cycle report and the
+periodic snapshotter, and knows how to subscribe every existing
+subsystem — without changing how those subsystems count.  All
+registrations are *lazy collectors*: the wrapped object keeps mutating
+its plain attributes and is read only when something scrapes.
+"""
+
+from dataclasses import fields as dataclass_fields
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.obs.cycles import (
+    CYCLES_PER_SECOND,
+    PmdCycleReport,
+    StageAccounting,
+    seconds_to_cycles,
+)
+from repro.obs.export import Snapshotter, prometheus_text
+from repro.obs.registry import MetricsRegistry, Sample
+from repro.obs.trace import PathTracer
+
+
+class Observability:
+    """Registry + tracer + cycle report + snapshotter for one host."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        trace_sample_interval: Optional[int] = None,
+        max_traces: int = 1024,
+    ) -> None:
+        self.clock = clock or (lambda: 0.0)
+        self.registry = MetricsRegistry()
+        self.tracer = PathTracer(
+            clock=self.clock,
+            sample_interval=trace_sample_interval,
+            max_traces=max_traces,
+        )
+        self.snapshotter = Snapshotter(self.registry, self.clock)
+        self._snapshot_loop = None
+        # Poll loops registered directly (guest apps, sources, sinks)
+        # and vswitchds whose PMD loops are discovered at scrape time
+        # (they only exist after start()).
+        self._loops: List[Tuple[Any, Optional[StageAccounting]]] = []
+        self._switches: List[Any] = []
+        self.registry.register_object(
+            "repro_trace", self.tracer,
+            ("packets_seen", "traces_started", "traces_finished"),
+            help="path tracer sampling progress",
+        )
+
+    # -- tracing toggle ------------------------------------------------------
+
+    def enable_tracing(self, sample_interval: int = 64) -> PathTracer:
+        self.tracer.sample_interval = sample_interval
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        self.tracer.sample_interval = None
+
+    # -- subsystem registration ----------------------------------------------
+
+    def register_vswitchd(self, switch) -> None:
+        """Track a vSwitchd: datapath counters, EMC, per-PMD cycles."""
+        self._switches.append(switch)
+        name = switch.name
+        datapath = switch.datapath
+        self.registry.register_object(
+            "repro_datapath", datapath,
+            ("packets_processed", "emc_hits", "classifier_hits",
+             "miss_upcalls", "pipeline_drops", "packets_mirrored"),
+            labels={"switch": name},
+            help="vSwitch fast-path lookup and forwarding counters",
+        )
+        self.registry.register_object(
+            "repro_emc", datapath.emc,
+            ("hits", "misses", "stale_hits", "insertions", "evictions"),
+            labels={"switch": name},
+            help="exact-match cache statistics",
+        )
+
+        def collect_loops() -> Iterable[Sample]:
+            for loop, stages in self._switch_loop_pairs(switch):
+                yield from _loop_samples(loop, stages)
+
+        self.registry.register_collector(collect_loops)
+
+    def register_poll_loop(self, loop,
+                           stages: Optional[StageAccounting] = None) -> None:
+        """Track one non-switch poll loop (guest app, source, sink)."""
+        self._loops.append((loop, stages))
+        self.registry.register_collector(
+            lambda: _loop_samples(loop, stages)
+        )
+
+    def register_ring(self, ring, role: str) -> None:
+        """Export a ring's lifetime stats (enqueue/partial/integrity)."""
+        self.registry.register_object(
+            "repro_ring", ring,
+            ("enqueued", "dequeued", "enqueue_failures",
+             "partial_enqueues", "dequeue_failures",
+             "corruptions_injected"),
+            labels={"ring": ring.name, "role": role},
+            help="rte_ring lifetime statistics",
+        )
+
+    def register_dpdkr_port(self, rings) -> None:
+        """Both rings of one dpdkr port (the normal channel)."""
+        self.register_ring(rings.to_switch, role="normal_tx")
+        self.register_ring(rings.to_guest, role="normal_rx")
+
+    def register_guest_pmd(self, pmd, vm_name: str, port_name: str) -> None:
+        """Per-channel RX/TX split of one dual-channel guest PMD."""
+        labels = {"vm": vm_name, "port": port_name}
+        self.registry.register_object(
+            "repro_pmd_channel", pmd,
+            ("tx_via_bypass", "tx_via_normal", "rx_via_bypass",
+             "rx_via_normal", "tx_stall_rejects", "rx_integrity_drops",
+             "bypass_congestion_events"),
+            labels=labels,
+            help="guest PMD per-channel packet counters",
+        )
+
+    def register_resilience(self, counters) -> None:
+        """Every ResilienceCounters field, one labeled sample each."""
+
+        def collect() -> Iterable[Sample]:
+            for field in dataclass_fields(counters):
+                yield Sample(
+                    "repro_resilience_total",
+                    {"counter": field.name},
+                    float(getattr(counters, field.name)),
+                    "counter",
+                    "bypass control-plane self-healing counters",
+                )
+
+        self.registry.register_collector(collect)
+
+    def register_manager(self, manager) -> None:
+        """Track a BypassManager: resilience, watchdog, channel stats
+        blocks (discovered lazily — links come and go), and coverage
+        counters for every lifecycle transition."""
+        self.register_resilience(manager.resilience)
+
+        def collect() -> Iterable[Sample]:
+            yield Sample("repro_watchdog_checks_total", {},
+                         float(manager.watchdog.checks_run), "counter",
+                         "watchdog check passes")
+            yield Sample("repro_bypass_active_links", {},
+                         float(len(manager.active_links)), "gauge",
+                         "bypass links currently tracked")
+            yield Sample("repro_bypass_quarantined_links", {},
+                         float(len(manager.quarantined_links)), "gauge",
+                         "links in quarantine")
+            yield Sample("repro_bypass_packets_lost_total", {},
+                         float(manager.packets_lost_to_failures),
+                         "counter", "packets lost to failures")
+            for stats in manager.stats_blocks:
+                labels = {"channel": stats.name}
+                for attr in ("tx_packets", "tx_bytes", "rx_dequeued",
+                             "rx_integrity_errors"):
+                    yield Sample("repro_bypass_%s_total" % attr, labels,
+                                 float(getattr(stats, attr)), "counter",
+                                 "bypass channel shared-memory counters")
+                yield Sample("repro_bypass_rx_epoch", labels,
+                             float(stats.rx_epoch), "gauge",
+                             "consumer heartbeat epoch")
+
+        self.registry.register_collector(collect)
+        coverage = self.registry.coverage
+        manager.on_link_active.append(
+            lambda bl: coverage("bypass_link_active"))
+        manager.on_link_removed.append(
+            lambda bl: coverage("bypass_link_removed"))
+        manager.on_link_degraded.append(
+            lambda bl, verdict: coverage(
+                "bypass_degraded_%s" % verdict.value))
+        manager.on_link_readmitted.append(
+            lambda bl: coverage("bypass_link_readmitted"))
+        manager.on_readmission_deferred.append(
+            lambda key: coverage("bypass_readmission_deferred"))
+
+    # -- per-PMD cycle accounting ----------------------------------------------
+
+    def _switch_loop_pairs(self, switch):
+        stages = getattr(switch, "_core_stages", [])
+        loops = getattr(switch, "_pmd_loops", [])
+        for index, loop in enumerate(loops):
+            yield loop, (stages[index] if index < len(stages) else None)
+
+    def pmd_cycle_report(self) -> PmdCycleReport:
+        """Fresh ``pmd/stats-show`` view over every tracked loop."""
+        report = PmdCycleReport()
+        for switch in self._switches:
+            for loop, stages in self._switch_loop_pairs(switch):
+                report.track(loop, stages)
+        for loop, stages in self._loops:
+            report.track(loop, stages)
+        return report
+
+    # -- snapshotting -------------------------------------------------------------
+
+    def start_snapshotting(self, env, period: float = 0.001):
+        """Run the snapshotter on a housekeeping PollLoop (like the
+        bypass watchdog); returns the loop."""
+        from repro.sim.pollloop import PollLoop
+
+        if self._snapshot_loop is not None:
+            raise RuntimeError("snapshotter already running")
+        self._snapshot_loop = PollLoop(
+            env, "obs.snapshot", self.snapshotter.iteration, period=period,
+        ).start()
+        return self._snapshot_loop
+
+    def stop_snapshotting(self) -> None:
+        if self._snapshot_loop is not None:
+            self._snapshot_loop.stop()
+            self._snapshot_loop = None
+
+    def snapshot_now(self) -> None:
+        """Take one snapshot immediately (run end, appctl)."""
+        self.snapshotter.iteration()
+
+    # -- reporting -----------------------------------------------------------------
+
+    def report(self, trace_limit: int = 10) -> str:
+        """The full end-of-run observability report (CLI ``--obs-report``)."""
+        sections = [
+            ("pmd/stats-show", self.pmd_cycle_report().render()),
+            ("coverage/show", self.registry.coverage_report()),
+            ("trace/dump", self.tracer.render(limit=trace_limit)),
+            ("metrics/dump", prometheus_text(self.registry).rstrip("\n")),
+        ]
+        blocks = []
+        for title, body in sections:
+            rule = "=" * len(title)
+            blocks.append("%s\n%s\n%s\n%s" % (rule, title, rule, body))
+        return "\n\n".join(blocks)
+
+    def __repr__(self) -> str:
+        return "<Observability switches=%d loops=%d tracing=%s>" % (
+            len(self._switches), len(self._loops),
+            self.tracer.sample_interval,
+        )
+
+
+def _loop_samples(loop, stages: Optional[StageAccounting]
+                  ) -> Iterable[Sample]:
+    labels = {"loop": loop.name}
+    yield Sample("repro_pollloop_busy_seconds", dict(labels),
+                 loop.busy_time, "counter",
+                 "simulated seconds the loop did useful work")
+    yield Sample("repro_pollloop_idle_seconds", dict(labels),
+                 loop.idle_time, "counter",
+                 "simulated seconds the loop polled empty")
+    yield Sample("repro_pollloop_iterations_total", dict(labels),
+                 float(loop.iterations), "counter", "loop iterations")
+    yield Sample("repro_pollloop_busy_cycles", dict(labels),
+                 float(seconds_to_cycles(loop.busy_time)), "counter",
+                 "busy cycles at %.1f GHz" % (CYCLES_PER_SECOND / 1e9))
+    yield Sample("repro_pollloop_idle_cycles", dict(labels),
+                 float(seconds_to_cycles(loop.idle_time)), "counter",
+                 "idle cycles at %.1f GHz" % (CYCLES_PER_SECOND / 1e9))
+    yield Sample("repro_pollloop_utilization", dict(labels),
+                 loop.utilization, "gauge",
+                 "busy fraction of elapsed loop time")
+    if stages is not None:
+        for stage, cycles, packets in stages.rows():
+            stage_labels = dict(labels)
+            stage_labels["stage"] = stage
+            yield Sample("repro_pmd_stage_cycles", stage_labels,
+                         float(cycles), "counter",
+                         "cycles attributed to one datapath stage")
+            if packets:
+                yield Sample("repro_pmd_stage_packets_total",
+                             stage_labels, float(packets), "counter",
+                             "packets attributed to one datapath stage")

@@ -1,0 +1,192 @@
+"""Sampled per-packet path tracing.
+
+The paper's claim is *transparency*: the controller keeps seeing one
+logical port while packets secretly take the bypass.  A counter can say
+"N packets went via the bypass"; only a per-packet trace can *prove*
+that a specific packet entered at the source, never touched the
+classifier, crossed the bypass ring, and surfaced at the peer PMD.
+
+Design constraints, in order:
+
+* **near-zero overhead when off** — hot paths guard on
+  ``mbuf.trace is not None`` (one attribute read on a slotted object);
+  nothing else happens for the untraced 63-in-64 (or 64-in-64 when the
+  tracer is disabled);
+* **bounded memory** — completed traces live in a ring of
+  ``max_traces``; an abandoned trace dies with its mbuf (``reset()``
+  clears the slot when the mempool recycles it);
+* **deterministic** — sampling is a modulo counter, not a coin flip, so
+  the same run always traces the same packets.
+"""
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+# Canonical hop names, for reference and docs (callers may add more):
+#   ingress      packet stamped at the traffic source
+#   guest-tx     a guest PMD transmitted it (attr channel=normal|bypass)
+#   bypass-ring  it was pushed into a VM-to-VM bypass ring
+#   switch-rx    the vSwitch fast path polled it off a port
+#   emc          EMC hit resolved its flow
+#   classifier   tuple-space lookup resolved its flow
+#   upcall       table miss: it left the fast path
+#   switch-tx    the vSwitch pushed it out a port
+#   guest-rx     a guest PMD received it (attr channel=normal|bypass)
+#   sink         it drained at a measurement endpoint
+
+
+class Span:
+    """One hop of one traced packet."""
+
+    __slots__ = ("time", "hop", "attrs")
+
+    def __init__(self, time: float, hop: str,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.time = time
+        self.hop = hop
+        self.attrs = attrs or {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = {"t": self.time, "hop": self.hop}
+        out.update(self.attrs)
+        return out
+
+    def __repr__(self) -> str:
+        return "<Span %s @%.3gus %r>" % (self.hop, self.time * 1e6,
+                                         self.attrs)
+
+
+class Trace:
+    """The span list of one sampled packet."""
+
+    __slots__ = ("trace_id", "seq", "start", "spans", "_tracer")
+
+    def __init__(self, tracer: "PathTracer", trace_id: int, seq: int,
+                 start: float) -> None:
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.seq = seq
+        self.start = start
+        self.spans: List[Span] = []
+
+    def add(self, time: float, hop: str, **attrs) -> None:
+        if len(self.spans) < self._tracer.max_spans:
+            self.spans.append(Span(time, hop, attrs or None))
+
+    def finish(self, time: float, **attrs) -> None:
+        """Record the terminal hop and hand the trace to the tracer."""
+        self.add(time, "sink", **attrs)
+        self._tracer._completed(self)
+
+    def hops(self) -> List[str]:
+        return [span.hop for span in self.spans]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "seq": self.seq,
+            "start": self.start,
+            "spans": [span.as_dict() for span in self.spans],
+        }
+
+    def __repr__(self) -> str:
+        return "<Trace %d %s>" % (self.trace_id, "->".join(self.hops()))
+
+
+class PathTracer:
+    """Stamps 1-in-N packets at ingress; collects their finished traces.
+
+    ``sample_interval=None`` disables sampling entirely: ``ingress()``
+    costs one integer compare and hot paths never see a non-None
+    ``mbuf.trace``.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        sample_interval: Optional[int] = 64,
+        max_traces: int = 1024,
+        max_spans: int = 64,
+    ) -> None:
+        if sample_interval is not None and sample_interval < 1:
+            raise ValueError("sample_interval must be >= 1 or None")
+        if max_traces < 1:
+            raise ValueError("max_traces must be positive")
+        self.clock = clock or (lambda: 0.0)
+        self.sample_interval = sample_interval
+        self.max_traces = max_traces
+        self.max_spans = max_spans
+        self.packets_seen = 0
+        self.traces_started = 0
+        self.traces_finished = 0
+        self._next_id = 0
+        self._ingress_countdown = 1  # trace the first packet: tests like it
+        self.finished: Deque[Trace] = deque(maxlen=max_traces)
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_interval is not None
+
+    def ingress(self, mbuf, **attrs) -> Optional[Trace]:
+        """Maybe stamp ``mbuf`` with a new trace (the 1-in-N gate)."""
+        if self.sample_interval is None:
+            return None
+        self.packets_seen += 1
+        self._ingress_countdown -= 1
+        if self._ingress_countdown > 0:
+            return None
+        self._ingress_countdown = self.sample_interval
+        now = self.clock()
+        self._next_id += 1
+        trace = Trace(self, self._next_id, mbuf.seq, now)
+        trace.add(now, "ingress", **attrs)
+        mbuf.trace = trace
+        self.traces_started += 1
+        return trace
+
+    def _completed(self, trace: Trace) -> None:
+        self.traces_finished += 1
+        self.finished.append(trace)
+
+    # -- analysis -----------------------------------------------------------
+
+    def traces_via(self, hop: str) -> List[Trace]:
+        return [t for t in self.finished if hop in t.hops()]
+
+    def render(self, limit: int = 20) -> str:
+        """``trace/dump``: the most recent traces, one per line block."""
+        if not self.finished:
+            return ("no finished traces (seen=%d started=%d)"
+                    % (self.packets_seen, self.traces_started))
+        recent = list(self.finished)[-limit:]
+        lines = ["%d finished trace(s), showing %d "
+                 "(sample interval %s, %d packets seen)"
+                 % (len(self.finished), len(recent),
+                    self.sample_interval, self.packets_seen)]
+        for trace in recent:
+            lines.append("trace %d seq=%d start=%.6fs"
+                         % (trace.trace_id, trace.seq, trace.start))
+            for span in trace.spans:
+                attrs = " ".join("%s=%s" % (k, v)
+                                 for k, v in span.attrs.items())
+                lines.append("  +%9.3fus %-12s %s"
+                             % ((span.time - trace.start) * 1e6,
+                                span.hop, attrs))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "<PathTracer 1-in-%s finished=%d>" % (
+            self.sample_interval, len(self.finished)
+        )
+
+
+def span_hop(mbuf, clock_now: float, hop: str, **attrs) -> None:
+    """Append a hop to a traced mbuf; no-op (one compare) otherwise.
+
+    Split out so instrumented hot paths read as one call; callers that
+    already know ``mbuf.trace is not None`` can call ``trace.add``
+    directly.
+    """
+    trace = mbuf.trace
+    if trace is not None:
+        trace.add(clock_now, hop, **attrs)

@@ -20,6 +20,7 @@ from repro.dpdk.dpdkr import dpdkr_zone_name
 from repro.hypervisor.compute_agent import ComputeAgent
 from repro.hypervisor.qemu import Hypervisor, VirtualMachine
 from repro.mem.memzone import MemzoneRegistry
+from repro.obs.plane import Observability
 from repro.openflow.controller import ControllerConnection, SimpleController
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import Environment
@@ -60,11 +61,17 @@ class NfvNode:
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
         faults: Optional["FaultPlan"] = None,
         watchdog_policy: WatchdogPolicy = DEFAULT_WATCHDOG_POLICY,
+        obs: Optional[Observability] = None,
+        trace_sample_interval: Optional[int] = None,
     ) -> None:
         self.env = env
         self.costs = costs
         self.faults = faults
         self.registry = MemzoneRegistry(faults=faults)
+        clock = (lambda: env.now) if env is not None else None
+        self.obs = obs if obs is not None else Observability(
+            clock=clock, trace_sample_interval=trace_sample_interval,
+        )
         self.connection = ControllerConnection()
         self.switch = VSwitchd(
             env=env,
@@ -89,6 +96,9 @@ class NfvNode:
         self.vms: Dict[str, VmHandle] = {}
         self.ports: Dict[str, object] = {}  # name -> OvsPort
         self.nics: Dict[str, Nic] = {}
+        self.obs.register_vswitchd(self.switch)
+        if self.manager is not None:
+            self.obs.register_manager(self.manager)
 
     # -- ports -----------------------------------------------------------------
 
@@ -96,6 +106,7 @@ class NfvNode:
                        ring_size: int = 1024) -> DpdkrOvsPort:
         port = self.switch.add_dpdkr_port(port_name, ring_size=ring_size)
         self.ports[port_name] = port
+        self.obs.register_dpdkr_port(port.rings)
         return port
 
     def add_nic(self, nic_name: str, ring_size: int = 4096) -> PhyOvsPort:
@@ -128,7 +139,9 @@ class NfvNode:
         handle = VmHandle(vm=vm, guest=guest)
         for port_name in port_names:
             self.agent.register_port_owner(port_name, vm_name)
-            handle.pmds[port_name] = guest.create_pmd(port_name)
+            pmd = guest.create_pmd(port_name)
+            handle.pmds[port_name] = pmd
+            self.obs.register_guest_pmd(pmd, vm_name, port_name)
         self.vms[vm_name] = handle
         return handle
 

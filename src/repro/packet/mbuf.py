@@ -42,6 +42,7 @@ class Mbuf:
         "refcnt",
         "pool",
         "userdata",
+        "trace",
     )
 
     def __init__(self, pool: Optional[Any] = None) -> None:
@@ -54,6 +55,9 @@ class Mbuf:
         self.ts_injected = -1.0
         self.refcnt = 1
         self.userdata: Any = None
+        # Sampled path-tracing span list (repro.obs.trace); None on the
+        # untraced majority, so hot paths pay one attribute compare.
+        self.trace: Any = None
 
     def reset(self) -> None:
         """Restore alloc-time state (called by the mempool on get)."""
@@ -65,6 +69,7 @@ class Mbuf:
         self.ts_injected = -1.0
         self.refcnt = 1
         self.userdata = None
+        self.trace = None
 
     def retain(self) -> "Mbuf":
         """Increment the reference count (multicast/clone paths)."""

@@ -40,6 +40,7 @@ class SourceApp:
         rate_pps: Optional[float] = None,
         costs: CostModel = DEFAULT_COST_MODEL,
         burst_size: int = 32,
+        tracer=None,
     ) -> None:
         self.name = name
         self.port = port
@@ -48,6 +49,9 @@ class SourceApp:
         self.rate_pps = rate_pps
         self.costs = costs
         self.burst_size = burst_size
+        # Optional repro.obs.trace.PathTracer: stamps 1-in-N mbufs at
+        # this ingress point.
+        self.tracer = tracer
         self.generated = 0
         self.tx_failures = 0
         self.loop: Optional[PollLoop] = None
@@ -78,6 +82,7 @@ class SourceApp:
             return 0.0
         now = self._now()
         mbufs = self.pool.get_bulk(count)
+        tracer = self.tracer
         for mbuf in mbufs:
             template = next(self._template_cycle)
             mbuf.packet = template.packet
@@ -86,6 +91,8 @@ class SourceApp:
             mbuf.seq = next(self._seq)
             mbuf.ts_created = now
             mbuf.ts_injected = now
+            if tracer is not None:
+                tracer.ingress(mbuf, source=self.name)
         sent = self.port.tx_burst(mbufs)
         for rejected in mbufs[sent:]:
             self.tx_failures += 1
@@ -122,6 +129,7 @@ class WireSource:
         pool_size: int = 16384,
         burst_size: int = 32,
         name: Optional[str] = None,
+        tracer=None,
     ) -> None:
         if not 0.0 < load <= 1.0:
             raise ValueError("load must be in (0, 1]")
@@ -131,6 +139,7 @@ class WireSource:
         self.load = load
         self.burst_size = burst_size
         self.name = name or "%s.src" % nic.name
+        self.tracer = tracer
         self.pool = Mempool("%s.pool" % self.name, size=pool_size)
         self.generated = 0
         self.nic_drops_seen = 0
@@ -159,6 +168,8 @@ class WireSource:
                         mbuf.seq = next(self._seq)
                         mbuf.ts_created = now
                         mbuf.ts_injected = now
+                        if self.tracer is not None:
+                            self.tracer.ingress(mbuf, source=self.name)
                         if self.nic.wire_receive(mbuf):
                             self.generated += 1
                         else:

@@ -41,6 +41,8 @@ class SinkApp:
             self.received_bytes += mbuf.wire_length
             if self.latency is not None and mbuf.ts_injected >= 0:
                 self.latency.record(now - mbuf.ts_injected)
+            if mbuf.trace is not None:
+                mbuf.trace.finish(now, sink=self.name)
             mbuf.free()
         return (self.costs.burst_overhead
                 + len(mbufs) * self.costs.ring_op)
@@ -76,6 +78,8 @@ class WireSink:
         self.received_bytes += mbuf.wire_length
         if self.latency is not None and mbuf.ts_injected >= 0:
             self.latency.record(self.env.now - mbuf.ts_injected)
+        if mbuf.trace is not None:
+            mbuf.trace.finish(self.env.now, sink=self.nic.name)
         if self.on_frame is not None:
             self.on_frame(mbuf)
         mbuf.free()

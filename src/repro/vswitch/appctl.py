@@ -279,12 +279,48 @@ def bypass_health(manager=None) -> str:
     return "\n".join(lines)
 
 
+def pmd_stats_show(vswitchd: VSwitchd, obs=None) -> str:
+    """``appctl pmd/stats-show``: busy/idle cycles + per-stage breakdown.
+
+    With an :class:`~repro.obs.plane.Observability` wired, covers every
+    tracked loop (guest cores included); otherwise just the vSwitch's
+    own PMD cores.
+    """
+    if obs is not None:
+        return obs.pmd_cycle_report().render()
+    return vswitchd.pmd_cycle_report().render()
+
+
+def coverage_show(obs=None) -> str:
+    """``appctl coverage/show``: event coverage counters."""
+    if obs is None:
+        return "observability: not wired"
+    return obs.registry.coverage_report()
+
+
+def metrics_dump(obs=None) -> str:
+    """``appctl metrics/dump``: full registry, Prometheus text format."""
+    if obs is None:
+        return "observability: not wired"
+    from repro.obs.export import prometheus_text
+
+    return prometheus_text(obs.registry).rstrip("\n")
+
+
+def trace_dump(obs=None, limit: int = 10) -> str:
+    """``appctl trace/dump``: the most recent sampled packet paths."""
+    if obs is None:
+        return "observability: not wired"
+    return obs.tracer.render(limit=limit)
+
+
 class AppCtl:
     """Dispatcher bundling the commands (an ovs-appctl socket stand-in)."""
 
-    def __init__(self, vswitchd: VSwitchd, manager=None) -> None:
+    def __init__(self, vswitchd: VSwitchd, manager=None, obs=None) -> None:
         self.vswitchd = vswitchd
         self.manager = manager
+        self.obs = obs
 
     def run(self, command: str, argument: str = "") -> str:
         handlers = {
@@ -299,6 +335,14 @@ class AppCtl:
             ),
             "show": lambda: show(self.vswitchd),
             "pmd-stats-show": lambda: cache_stats(self.vswitchd),
+            "pmd/stats-show": lambda: pmd_stats_show(self.vswitchd,
+                                                     self.obs),
+            "coverage/show": lambda: coverage_show(self.obs),
+            "metrics/dump": lambda: metrics_dump(self.obs),
+            "trace/dump": lambda: trace_dump(
+                self.obs,
+                limit=int(argument) if argument.strip() else 10,
+            ),
             "bypass/show": lambda: bypass_show(self.vswitchd,
                                                self.manager),
             "bypass/faults": lambda: bypass_faults(self.manager),

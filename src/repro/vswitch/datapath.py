@@ -95,8 +95,8 @@ class Datapath:
 
     # -- lookup ------------------------------------------------------------------
 
-    def classify(self, mbuf: Mbuf, in_port: int
-                 ) -> "tuple[Optional[tuple], float]":
+    def classify(self, mbuf: Mbuf, in_port: int,
+                 stages=None) -> "tuple[Optional[tuple], float]":
         """Resolve one packet through the pipeline.
 
         Returns ``(traversal, cpu cost)`` where traversal is the tuple
@@ -105,6 +105,10 @@ class Datapath:
         table or a non-increasing goto all terminate the pipeline as an
         OF1.3 drop (the traversal so far is returned; its combined
         actions produce no output).
+
+        ``stages`` (a :class:`repro.obs.cycles.StageAccounting`) splits
+        the lookup cost between the emc_lookup / classifier_lookup /
+        miss_upcall stages for ``pmd/stats-show``.
         """
         from repro.openflow.actions import goto_table_of
 
@@ -113,6 +117,11 @@ class Datapath:
             traversal = self.emc.lookup(key)
             if traversal is not None:
                 self.emc_hits += 1
+                if stages is not None:
+                    stages.add("emc_lookup", self.costs.ovs_emc_hit,
+                               packets=1)
+                if mbuf.trace is not None:
+                    mbuf.trace.add(self.clock(), "emc", result="hit")
                 return traversal, self.costs.ovs_emc_hit
         entries = []
         table_id = 0
@@ -123,6 +132,12 @@ class Datapath:
             if entry is None:
                 if table_id == 0:
                     self.miss_upcalls += 1
+                    if stages is not None:
+                        stages.add("miss_upcall",
+                                   self.costs.ovs_miss_upcall, packets=1)
+                    if mbuf.trace is not None:
+                        mbuf.trace.add(self.clock(), "upcall",
+                                       reason="no_match")
                     return None, self.costs.ovs_miss_upcall
                 self.pipeline_drops += 1
                 break
@@ -136,6 +151,11 @@ class Datapath:
                 break
             table_id = goto.table_id
         self.classifier_hits += 1
+        if stages is not None:
+            stages.add("classifier_lookup", cost, packets=1)
+        if mbuf.trace is not None:
+            mbuf.trace.add(self.clock(), "classifier",
+                           tables=table_id + 1)
         traversal = tuple(entries)
         if self.emc_enabled:
             self.emc.insert(key, traversal)
@@ -207,7 +227,8 @@ class Datapath:
     # -- the poll iteration body --------------------------------------------------------
 
     def process_port(self, port: OvsPort,
-                     output_batches: Dict[int, List[Mbuf]]) -> "tuple[float, int]":
+                     output_batches: Dict[int, List[Mbuf]],
+                     stages=None) -> "tuple[float, int]":
         """Poll one port; returns (cpu cost, packets processed)."""
         if not port.up:
             return 0.0, 0  # administratively down: leave the ring alone
@@ -218,12 +239,21 @@ class Datapath:
         if policer is not None:
             mbufs = policer.filter_burst(mbufs)
             if not mbufs:
+                if stages is not None:
+                    stages.add("housekeeping", self.costs.burst_overhead)
                 return self.costs.burst_overhead, 0
         costs = self.costs
         rx_cost = (costs.nic_pmd_rx if port.kind == PortKind.PHY
                    else costs.ring_op)
         total_cost = costs.burst_overhead + rx_cost * len(mbufs)
         now = self.clock()
+        if stages is not None:
+            stages.add("housekeeping", costs.burst_overhead)
+            stages.add("rx_normal", rx_cost * len(mbufs),
+                       packets=len(mbufs))
+        for mbuf in mbufs:
+            if mbuf.trace is not None:
+                mbuf.trace.add(now, "switch-rx", port=port.name)
         # Ingress mirroring: clone before the actions can consume the
         # packet.
         for mirror in self.mirrors:
@@ -234,10 +264,13 @@ class Datapath:
                     )
                 self.packets_mirrored += len(mbufs)
                 total_cost += costs.ring_op * len(mbufs)
+                if stages is not None:
+                    stages.add("actions", costs.ring_op * len(mbufs))
         from repro.openflow.actions import GotoTableAction
 
         for mbuf in mbufs:
-            traversal, lookup_cost = self.classify(mbuf, port.ofport)
+            traversal, lookup_cost = self.classify(mbuf, port.ofport,
+                                                   stages=stages)
             total_cost += lookup_cost
             if traversal is None:
                 if self.upcall_handler is not None:
@@ -257,7 +290,8 @@ class Datapath:
         self.packets_processed += len(mbufs)
         return total_cost, len(mbufs)
 
-    def flush_outputs(self, output_batches: Dict[int, List[Mbuf]]) -> float:
+    def flush_outputs(self, output_batches: Dict[int, List[Mbuf]],
+                      stages=None) -> float:
         """Send batched outputs; returns the cpu cost of the TX work."""
         costs = self.costs
         total_cost = 0.0
@@ -274,6 +308,8 @@ class Datapath:
                     )
                     self.packets_mirrored += len(mbufs)
                     total_cost += costs.ring_op * len(mbufs)
+                    if stages is not None:
+                        stages.add("actions", costs.ring_op * len(mbufs))
             for ofport, mbufs in extra.items():
                 output_batches.setdefault(ofport, []).extend(mbufs)
         for ofport, mbufs in output_batches.items():
@@ -290,18 +326,27 @@ class Datapath:
             tx_cost = (costs.nic_pmd_tx if port.kind == PortKind.PHY
                        else costs.ring_op)
             total_cost += tx_cost * len(mbufs)
+            if stages is not None:
+                stages.add("tx", tx_cost * len(mbufs),
+                           packets=len(mbufs))
+            now = self.clock()
+            for mbuf in mbufs:
+                if mbuf.trace is not None:
+                    mbuf.trace.add(now, "switch-tx", port=port.name)
             port.send_burst(mbufs)
         output_batches.clear()
         return total_cost
 
-    def process_ports(self, ports: List[OvsPort]) -> float:
+    def process_ports(self, ports: List[OvsPort],
+                      stages=None) -> float:
         """One full PMD iteration over ``ports``; returns total cpu cost."""
         output_batches: Dict[int, List[Mbuf]] = {}
         total_cost = 0.0
         for port in ports:
-            cost, _count = self.process_port(port, output_batches)
+            cost, _count = self.process_port(port, output_batches,
+                                             stages=stages)
             total_cost += cost
-        total_cost += self.flush_outputs(output_batches)
+        total_cost += self.flush_outputs(output_batches, stages=stages)
         return total_cost
 
     # -- direct injection (packet-out, test harnesses) ---------------------------------

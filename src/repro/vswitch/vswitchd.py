@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 
 from repro.dpdk.dpdkr import DpdkrSharedRings
 from repro.mem.memzone import MemzoneRegistry
+from repro.obs.cycles import PmdCycleReport, StageAccounting
 from repro.openflow.controller import ControllerConnection
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import Environment
@@ -50,6 +51,12 @@ class VSwitchd:
         self._next_ofport = 1
         self._core_ports: List[List[OvsPort]] = [
             [] for _ in range(n_pmd_cores)
+        ]
+        # Per-core datapath stage accounting (pmd/stats-show): the
+        # Datapath is shared, so attribution to a core happens by
+        # passing the core's StageAccounting through process_ports.
+        self._core_stages: List[StageAccounting] = [
+            StageAccounting() for _ in range(n_pmd_cores)
         ]
         self._pmd_loops: List[PollLoop] = []
         self._control_loop = None
@@ -183,8 +190,9 @@ class VSwitchd:
     def step_dataplane(self) -> float:
         """Run one PMD iteration on every core; returns total cpu cost."""
         return sum(
-            self.datapath.process_ports(core_ports)
-            for core_ports in self._core_ports
+            self.datapath.process_ports(core_ports, stages=stages)
+            for core_ports, stages
+            in zip(self._core_ports, self._core_stages)
         )
 
     def step_control(self) -> int:
@@ -208,7 +216,9 @@ class VSwitchd:
             loop = PollLoop(
                 self.env,
                 "%s.pmd%d" % (self.name, core_index),
-                self._make_pmd_iteration(core_ports),
+                self._make_pmd_iteration(
+                    core_ports, self._core_stages[core_index]
+                ),
                 costs=self.costs,
             ).start()
             self._pmd_loops.append(loop)
@@ -216,11 +226,12 @@ class VSwitchd:
             self._control_process(), name="%s.control" % self.name
         )
 
-    def _make_pmd_iteration(self, core_ports: List[OvsPort]):
+    def _make_pmd_iteration(self, core_ports: List[OvsPort],
+                            stages: StageAccounting):
         datapath = self.datapath
 
         def iteration() -> float:
-            return datapath.process_ports(core_ports)
+            return datapath.process_ports(core_ports, stages=stages)
 
         return iteration
 
@@ -250,6 +261,15 @@ class VSwitchd:
         """Zero PMD busy/idle counters at a measurement-window start."""
         for loop in self._pmd_loops:
             loop.reset_accounting()
+        for stages in self._core_stages:
+            stages.reset()
+
+    def pmd_cycle_report(self) -> PmdCycleReport:
+        """``pmd/stats-show``-style cycle report over the PMD cores."""
+        report = PmdCycleReport()
+        for loop, stages in zip(self._pmd_loops, self._core_stages):
+            report.track(loop, stages)
+        return report
 
     def core_assignment(self) -> Dict[int, List[str]]:
         return {

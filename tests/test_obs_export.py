@@ -1,0 +1,118 @@
+"""Tests for the exporters (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    Snapshotter,
+    jsonl_snapshots,
+    parse_jsonl_snapshots,
+    prometheus_text,
+    snapshot_dict,
+    validate_prometheus_text,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def small_registry():
+    registry = MetricsRegistry()
+    registry.counter("pkts_total", help="packets seen",
+                     labels=("port",)).labels("p0").inc(7)
+    registry.gauge("depth", help="ring depth").labels().set(3.5)
+    registry.histogram("lat_seconds", buckets=(1e-6, 1e-3)) \
+        .labels().observe(5e-4)
+    registry.coverage("event_hit", 2)
+    return registry
+
+
+class TestPrometheusText:
+    def test_render_and_validate(self):
+        text = prometheus_text(small_registry())
+        assert '# TYPE pkts_total counter' in text
+        assert 'pkts_total{port="p0"} 7' in text
+        assert "# HELP pkts_total packets seen" in text
+        assert "depth 3.5" in text
+        assert 'coverage_total{event="event_hit"} 2' in text
+        # Histogram expansion with the +Inf bucket and _sum/_count.
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.0005" in text
+        assert "lat_seconds_count 1" in text
+        assert validate_prometheus_text(text) > 5
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("weird_total", labels=("name",)) \
+            .labels('a"b\\c').inc()
+        text = prometheus_text(registry)
+        assert r'weird_total{name="a\"b\\c"} 1' in text
+        validate_prometheus_text(text)
+
+    def test_validator_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_prometheus_text("not a metric line at all\n")
+        with pytest.raises(ValueError):
+            validate_prometheus_text("name{unterminated 1\n")
+        with pytest.raises(ValueError):
+            validate_prometheus_text("")  # no sample lines
+
+    def test_validator_counts_sample_lines_only(self):
+        assert validate_prometheus_text(
+            "# HELP a b\n# TYPE a counter\na 1\nb 2\n"
+        ) == 2
+
+
+class TestSnapshots:
+    def test_jsonl_round_trip(self):
+        registry = small_registry()
+        snaps = [snapshot_dict(registry, 0.0),
+                 snapshot_dict(registry, 0.5)]
+        text = jsonl_snapshots(snaps)
+        assert text.endswith("\n")
+        parsed = parse_jsonl_snapshots(text)
+        assert [s["time"] for s in parsed] == [0.0, 0.5]
+        assert parsed[0]["metrics"] == parsed[1]["metrics"]
+        # Every metric entry survives json round trip intact.
+        names = {m["name"] for m in parsed[0]["metrics"]}
+        assert {"pkts_total", "depth", "lat_seconds",
+                "coverage_total"} <= names
+
+    def test_histogram_inf_bound_serializes(self):
+        snap = snapshot_dict(small_registry(), 0.0)
+        text = jsonl_snapshots([snap])
+        json.loads(text)  # must be strictly valid JSON (no Infinity)
+        hist = [m for m in snap["metrics"]
+                if m["name"] == "lat_seconds"][0]
+        assert hist["buckets"][-1][0] == "+Inf"
+
+    def test_parse_rejects_non_snapshot(self):
+        with pytest.raises(ValueError):
+            parse_jsonl_snapshots('{"no": "snapshot keys"}\n')
+
+    def test_empty_list_serializes_to_empty(self):
+        assert jsonl_snapshots([]) == ""
+        assert parse_jsonl_snapshots("") == []
+
+
+class TestSnapshotter:
+    def test_iteration_contract_and_bound(self):
+        registry = MetricsRegistry()
+        clock = {"now": 0.0}
+        snapshotter = Snapshotter(registry, lambda: clock["now"],
+                                  max_snapshots=2)
+        assert snapshotter.iteration() == Snapshotter.SNAPSHOT_COST
+        clock["now"] = 0.1
+        snapshotter.iteration()
+        clock["now"] = 0.2
+        snapshotter.iteration()  # over budget: dropped, still costs
+        assert len(snapshotter.snapshots) == 2
+        assert snapshotter.dropped == 1
+        assert [s["time"] for s in snapshotter.snapshots] == [0.0, 0.1]
+
+    def test_to_jsonl_round_trips(self):
+        registry = small_registry()
+        snapshotter = Snapshotter(registry, lambda: 1.5)
+        snapshotter.iteration()
+        parsed = parse_jsonl_snapshots(snapshotter.to_jsonl())
+        assert len(parsed) == 1
+        assert parsed[0]["time"] == 1.5

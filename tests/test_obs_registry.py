@@ -1,0 +1,148 @@
+"""Tests for the central metrics registry (repro.obs.registry)."""
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(5.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.read() == 4.0
+
+    def test_gauge_function_wins_until_set(self):
+        gauge = Gauge()
+        backing = {"v": 7.0}
+        gauge.set_function(lambda: backing["v"])
+        assert gauge.read() == 7.0
+        backing["v"] = 9.0
+        assert gauge.read() == 9.0
+        gauge.set(1.0)  # an explicit set clears the lazy function
+        assert gauge.read() == 1.0
+
+    def test_histogram_buckets_cumulative(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 100.0):
+            histogram.observe(value)
+        table = dict(histogram.cumulative())
+        assert table[1.0] == 2
+        assert table[10.0] == 3
+        assert table[float("inf")] == 4
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(106.2)
+
+    def test_histogram_always_has_inf_bucket(self):
+        histogram = Histogram(buckets=(1.0,))
+        assert histogram.bounds[-1] == float("inf")
+
+
+class TestFamilies:
+    def test_labeled_counter_children_are_distinct(self):
+        registry = MetricsRegistry()
+        family = registry.counter("pkts_total", labels=("port",))
+        family.labels("p0").inc(3)
+        family.labels("p1").inc(5)
+        assert registry.sample_value("pkts_total", {"port": "p0"}) == 3
+        assert registry.sample_value("pkts_total", {"port": "p1"}) == 5
+
+    def test_keyword_labels(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("a", "b"))
+        family.labels(a="1", b="2").inc()
+        assert registry.sample_value("x_total", {"a": "1", "b": "2"}) == 1
+
+    def test_label_arity_enforced(self):
+        registry = MetricsRegistry()
+        family = registry.counter("y_total", labels=("a",))
+        with pytest.raises(ValueError):
+            family.labels("1", "2")
+        with pytest.raises(ValueError):
+            family.labels(b="2")
+        with pytest.raises(ValueError):
+            family.labels("1", a="1")
+
+    def test_reregistration_must_match(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", labels=("a",))
+        # Same shape: returns the same family.
+        again = registry.counter("z_total", labels=("a",))
+        again.labels("1").inc()
+        with pytest.raises(ValueError):
+            registry.gauge("z_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("z_total", labels=("b",))
+
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("9bad")
+        with pytest.raises(ValueError):
+            registry.counter("")
+
+
+class TestCollectors:
+    def test_register_object_reads_lazily(self):
+        class Stats:
+            hits = 0
+
+        stats = Stats()
+        registry = MetricsRegistry()
+        registry.register_object("repro_test", stats, ("hits",),
+                                 labels={"who": "emc"})
+        assert registry.sample_value("repro_test_hits",
+                                     {"who": "emc"}) == 0
+        stats.hits = 42  # the hot path mutates its plain attribute...
+        assert registry.sample_value("repro_test_hits",
+                                     {"who": "emc"}) == 42
+
+    def test_register_collector_callback(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda: [Sample("custom_metric", {}, 1.5, "gauge")]
+        )
+        assert registry.sample_value("custom_metric") == 1.5
+
+    def test_sample_value_raises_on_absent(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError):
+            registry.sample_value("nope")
+
+
+class TestCoverage:
+    def test_coverage_counts_and_exports(self):
+        registry = MetricsRegistry()
+        registry.coverage("bypass_link_active")
+        registry.coverage("bypass_link_active", 2)
+        assert registry.coverage_counters() == {"bypass_link_active": 3}
+        assert registry.sample_value(
+            "coverage_total", {"event": "bypass_link_active"}
+        ) == 3
+
+    def test_coverage_report_lists_hits_then_zeros(self):
+        registry = MetricsRegistry()
+        registry.coverage("seen")
+        registry.coverage("never", 0)
+        report = registry.coverage_report()
+        assert "seen" in report
+        assert "1 events never hit" in report
+        assert report.index("seen") < report.index("never")
+
+    def test_empty_coverage_report(self):
+        assert "no coverage" in MetricsRegistry().coverage_report()

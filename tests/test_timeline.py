@@ -1,8 +1,20 @@
 """Tests for the event timeline and highway tracing."""
 
+import pytest
+
+from repro.core.bypass import RetryPolicy
+from repro.core.watchdog import WatchdogPolicy
+from repro.faults import PMD_RX_POLL, FaultMode, FaultPlan
 from repro.metrics.timeline import EventTimeline, attach_highway_tracing
 from repro.orchestration import NfvNode
 from repro.sim.engine import Environment
+from repro.traffic import SinkApp, SourceApp
+
+FAST_WATCHDOG = WatchdogPolicy(poll_interval=0.005, stall_polls=3,
+                               heartbeat_polls=6)
+FAST_READMIT = RetryPolicy(quarantine_backoff=0.15,
+                           quarantine_backoff_factor=1.0,
+                           max_quarantine_backoff=0.15)
 
 
 class TestEventTimeline:
@@ -44,6 +56,25 @@ class TestEventTimeline:
         assert len(timeline) == 2
         assert timeline.dropped == 3
 
+    def test_ring_keeps_most_recent_events(self):
+        timeline = EventTimeline(max_events=3)
+        for index in range(6):
+            timeline.record("e%d" % index)
+        assert [event.name for event in timeline.events] == \
+            ["e3", "e4", "e5"]
+        text = timeline.render()
+        assert text.splitlines()[0] == "... 3 earlier events dropped"
+        assert "e0" not in text and "e5" in text
+
+    def test_render_without_drops_has_no_header(self):
+        timeline = EventTimeline(max_events=10)
+        timeline.record("only")
+        assert "dropped" not in timeline.render()
+
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventTimeline(max_events=0)
+
     def test_unmatched_span_end_ignored(self):
         timeline = EventTimeline()
         timeline.record("close", id=9)
@@ -73,3 +104,106 @@ class TestHighwayTracing:
         spans = timeline.spans("p2p-detected", "bypass-active", key="src")
         assert len(spans) == 1
         assert 0.08 < spans[0] < 0.15  # the ~100 ms establishment
+
+
+def runtime_node(env):
+    """A 2-VM node with fast watchdog/re-admission and traffic wiring."""
+    node = NfvNode(env=env, watchdog_policy=FAST_WATCHDOG,
+                   retry_policy=FAST_READMIT)
+    node.create_vm("vm1", ["dpdkr0"])
+    node.create_vm("vm2", ["dpdkr1"])
+    node.switch.start()
+    timeline = EventTimeline(clock=lambda: env.now)
+    attach_highway_tracing(timeline, node.manager.detector, node.manager)
+    source = SourceApp("src", node.vms["vm1"].pmd("dpdkr0"),
+                       rate_pps=1e4)
+    sink = SinkApp("sink", node.vms["vm2"].pmd("dpdkr1"))
+    node.install_p2p_rule("dpdkr0", "dpdkr1")
+    source.start(env)
+    sink.start(env)
+    return node, timeline, source
+
+
+class TestRuntimeHealthTimeline:
+    """PR-2's runtime transitions as timeline events: watchdog degrade,
+    heartbeat-gated revival, and the deferred re-admission of a peer
+    that stays silent."""
+
+    def test_degrade_and_heartbeat_gated_readmission(self):
+        env = Environment()
+        node, timeline, source = runtime_node(env)
+        env.run(until=0.3)
+        assert node.active_bypasses == 1
+        # Freeze the consumer long enough for the watchdog to degrade
+        # the link, then let it thaw and heartbeat its way back in.
+        plan = FaultPlan(seed=11)
+        plan.inject(PMD_RX_POLL, FaultMode.DELAY, occurrences=(1,),
+                    delay=0.08)
+        node.install_fault_plan(plan)
+        env.run(until=0.8)
+        source.stop()
+        env.run(until=0.9)
+        names = [event.name for event in timeline.events]
+        assert "bypass-degraded" in names
+        assert "bypass-readmitted" in names
+        degraded = timeline.filter("bypass-degraded")[0]
+        assert degraded.attributes["verdict"] == "stalled"
+        assert degraded.attributes["src"] == node.ofport("dpdkr0")
+        # Revival comes strictly after the degrade, with the quarantine
+        # backoff (and the heartbeat gate) in between.
+        spans = timeline.spans("bypass-degraded", "bypass-readmitted",
+                               key="src")
+        assert len(spans) == 1
+        assert spans[0] >= FAST_READMIT.quarantine_backoff
+        # The resilience ledger tells the same story.
+        res = node.manager.resilience
+        assert res.links_degraded == 1
+        assert res.degraded_readmissions == 1
+
+    def test_silent_peer_defers_readmission_visibly(self):
+        env = Environment()
+        node, timeline, source = runtime_node(env)
+        env.run(until=0.3)
+        assert node.active_bypasses == 1
+        plan = FaultPlan(seed=11)
+        plan.inject(PMD_RX_POLL, FaultMode.ERROR, occurrences=(1,))
+        node.install_fault_plan(plan)
+        env.run(until=0.35)
+        source.stop()
+        env.run(until=1.0)
+        names = [event.name for event in timeline.events]
+        assert "bypass-degraded" in names
+        assert "bypass-readmitted" not in names
+        deferrals = timeline.filter("bypass-readmission-deferred")
+        assert len(deferrals) >= 2
+        assert deferrals[0].attributes["src"] == node.ofport("dpdkr0")
+        assert len(deferrals) == \
+            node.manager.resilience.readmissions_deferred
+
+    def test_timeline_ordering_agrees_with_obs_coverage(self):
+        # The same callbacks feed the obs coverage counters; counts and
+        # ordering must agree between the two surfaces.
+        env = Environment()
+        node, timeline, source = runtime_node(env)
+        env.run(until=0.3)
+        plan = FaultPlan(seed=11)
+        plan.inject(PMD_RX_POLL, FaultMode.DELAY, occurrences=(1,),
+                    delay=0.08)
+        node.install_fault_plan(plan)
+        env.run(until=0.8)
+        source.stop()
+        env.run(until=0.9)
+        coverage = node.obs.registry.coverage_counters()
+        assert coverage["bypass_link_active"] == \
+            len(timeline.filter("bypass-active"))
+        assert coverage["bypass_degraded_stalled"] == \
+            len(timeline.filter("bypass-degraded"))
+        assert coverage["bypass_link_readmitted"] == \
+            len(timeline.filter("bypass-readmitted"))
+        # First occurrences are in causal order: the link went active,
+        # then degraded, then was re-admitted (which re-fires active).
+        first = {}
+        for event in timeline.events:
+            first.setdefault(event.name, event.time)
+        assert first["bypass-active"] < first["bypass-degraded"] \
+            < first["bypass-readmitted"]

@@ -190,6 +190,39 @@ class TestLatencyRecorder:
         with pytest.raises(ValueError):
             LatencyRecorder().percentile(1.5)
 
+    def test_empty_recorder_reports_zeros_not_inf(self):
+        recorder = LatencyRecorder()
+        assert recorder.count == 0
+        assert recorder.min_value == 0.0
+        assert recorder.max_value == 0.0
+        assert recorder.mean == 0.0
+        assert recorder.p99 == 0.0
+
+    def test_merge_of_empty_source_is_a_noop(self):
+        recorder = LatencyRecorder()
+        recorder.record(2.0)
+        recorder.merge(LatencyRecorder())
+        assert recorder.count == 1
+        assert recorder.min_value == 2.0  # the empty inf sentinel
+        assert recorder.max_value == 2.0  # must not leak through
+
+    def test_merge_into_empty_recorder(self):
+        target = LatencyRecorder()
+        source = LatencyRecorder()
+        source.record(1.0)
+        source.record(3.0)
+        target.merge(source)
+        assert target.count == 2
+        assert target.min_value == 1.0
+        assert target.max_value == 3.0
+
+    def test_summary_renders_empty_and_filled(self):
+        recorder = LatencyRecorder()
+        assert recorder.summary() == "latency: - (no samples)"
+        recorder.record(2e-6)
+        text = recorder.summary()
+        assert "n=1" in text and "mean=2.00us" in text
+
 
 class TestRatesAndReport:
     def test_to_mpps(self):
@@ -203,6 +236,40 @@ class TestRatesAndReport:
         meter.sample(2.0, 3000)
         assert meter.overall_rate == 1500
         assert meter.interval_rates() == [1000, 2000]
+
+    def test_rate_between_validates_indices(self):
+        meter = RateMeter("m")
+        meter.sample(0.0, 0)
+        meter.sample(1.0, 100)
+        # Negative indices follow Python list semantics.
+        assert meter.rate_between(0, -1) == 100
+        assert meter.rate_between(-2, -1) == 100
+        with pytest.raises(IndexError):
+            meter.rate_between(0, 2)
+        with pytest.raises(IndexError):
+            meter.rate_between(-3, 1)
+        with pytest.raises(IndexError):
+            RateMeter().rate_between(0, 0)
+
+    def test_rate_between_non_advancing_clock(self):
+        meter = RateMeter()
+        meter.sample(1.0, 10)
+        meter.sample(1.0, 20)
+        assert meter.rate_between(0, 1) == 0.0
+
+    def test_steady_state_rate_trims_warmup_and_drain(self):
+        meter = RateMeter()
+        meter.sample(0.0, 0)      # warmup: nothing flowed yet
+        meter.sample(1.0, 0)
+        meter.sample(2.0, 1000)   # steady state: 1000/s
+        meter.sample(3.0, 2000)
+        meter.sample(4.0, 2000)   # drain: source stopped
+        assert meter.overall_rate == 500
+        assert meter.steady_state_rate(skip_head=2, skip_tail=1) == 1000
+        # Too few survivors: falls back to the overall rate.
+        assert meter.steady_state_rate(skip_head=3, skip_tail=2) == 500
+        with pytest.raises(ValueError):
+            meter.steady_state_rate(skip_head=-1)
 
     def test_format_table_alignment(self):
         text = format_table(["a", "long_header"],
