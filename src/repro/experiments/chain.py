@@ -94,6 +94,7 @@ class ChainExperiment:
         wire_load: float = 1.0,
         burst_size: int = 32,
         emc_enabled: bool = True,
+        vectorized: bool = True,
         accounting_enabled: bool = True,
         trace_sample: Optional[int] = None,
         snapshot_period: Optional[float] = None,
@@ -117,6 +118,7 @@ class ChainExperiment:
         self.wire_load = wire_load
         self.burst_size = burst_size
         self.emc_enabled = emc_enabled
+        self.vectorized = vectorized
         self.accounting_enabled = accounting_enabled
         self.trace_sample = trace_sample
         self.snapshot_period = snapshot_period
@@ -146,8 +148,13 @@ class ChainExperiment:
             ring_size=self.ring_size,
             trace_sample_interval=self.trace_sample,
         )
-        self.node.switch.datapath.burst_size = self.burst_size
-        self.node.switch.datapath.emc_enabled = self.emc_enabled
+        datapath = self.node.switch.datapath
+        datapath.burst_size = self.burst_size
+        datapath.emc_enabled = self.emc_enabled
+        datapath.vectorized = self.vectorized
+        # The A-emc ablation measures life without the caches: disabling
+        # the EMC also disables the SMC so the classifier takes every hit.
+        datapath.smc_enabled = self.emc_enabled
         for vm_index in range(1, self.num_vms + 1):
             handle = self.node.create_vm(
                 "vm%d" % vm_index,

@@ -26,6 +26,7 @@ STAGES = (
     "rx_normal",
     "rx_bypass",
     "emc_lookup",
+    "smc_lookup",
     "classifier_lookup",
     "miss_upcall",
     "actions",

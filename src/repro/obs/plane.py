@@ -69,17 +69,40 @@ class Observability:
         datapath = switch.datapath
         self.registry.register_object(
             "repro_datapath", datapath,
-            ("packets_processed", "emc_hits", "classifier_hits",
-             "miss_upcalls", "pipeline_drops", "packets_mirrored"),
+            ("packets_processed", "emc_hits", "smc_hits",
+             "classifier_hits", "miss_upcalls", "pipeline_drops",
+             "packets_mirrored", "flow_batches", "packets_batched"),
             labels={"switch": name},
             help="vSwitch fast-path lookup and forwarding counters",
         )
         self.registry.register_object(
             "repro_emc", datapath.emc,
-            ("hits", "misses", "stale_hits", "insertions", "evictions"),
+            ("hits", "misses", "stale_hits", "insertions",
+             "insertions_skipped", "evictions", "stale_evictions",
+             "precise_evictions"),
             labels={"switch": name},
             help="exact-match cache statistics",
         )
+        self.registry.register_object(
+            "repro_smc", datapath.smc,
+            ("hits", "misses", "insertions", "replacements"),
+            labels={"switch": name},
+            help="signature-match cache statistics",
+        )
+        # Precise-invalidation coverage events flow through the shared
+        # coverage counters (control path only: flowmod frequency).
+        datapath.coverage = self.registry.coverage
+
+        def collect_batch_fill() -> Iterable[Sample]:
+            for fill, count in sorted(datapath.batch_fill_counts.items()):
+                yield Sample(
+                    "repro_datapath_batch_fill_total",
+                    {"switch": name, "fill": str(fill)},
+                    float(count), "counter",
+                    "flow batches by packets-per-batch (vectorized path)",
+                )
+
+        self.registry.register_collector(collect_batch_fill)
 
         def collect_loops() -> Iterable[Sample]:
             for loop, stages in self._switch_loop_pairs(switch):

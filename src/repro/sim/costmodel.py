@@ -19,10 +19,23 @@ class CostModel:
     """Per-operation costs consumed by poll loops and control flows."""
 
     # --- vSwitch datapath, per packet -----------------------------------
-    # Datapath lookup + action execution on the OVS PMD core.
+    # Datapath lookup + action execution on the OVS PMD core.  Lookup
+    # costs are charged once per *flow batch* on the vectorized path
+    # (every packet of the batch shares the resolution) and once per
+    # packet on the scalar path.
     ovs_emc_hit: float = 70 * NS
+    ovs_smc_hit: float = 110 * NS     # signature hit + subtable verify
     ovs_classifier_hit: float = 250 * NS
     ovs_miss_upcall: float = 50 * US
+    # Action execution.  Applying the actions to a packet (header
+    # writes, moving the mbuf to its output batch) is inherently
+    # per-packet on both paths; what vectorization amortizes is the
+    # action-*list* construction: the scalar path rebuilds and
+    # dispatches it per packet, the batched path builds it once per
+    # flow batch.
+    ovs_action_per_packet: float = 45 * NS   # both paths, per packet
+    ovs_scalar_dispatch: float = 50 * NS     # scalar path, per packet
+    ovs_batch_action: float = 40 * NS        # batched path, per batch
 
     # --- rings / memory, per packet ---------------------------------------
     ring_op: float = 18 * NS          # enqueue or dequeue, burst-amortized
@@ -55,7 +68,11 @@ class CostModel:
         return replace(
             self,
             ovs_emc_hit=self.ovs_emc_hit * factor,
+            ovs_smc_hit=self.ovs_smc_hit * factor,
             ovs_classifier_hit=self.ovs_classifier_hit * factor,
+            ovs_action_per_packet=self.ovs_action_per_packet * factor,
+            ovs_scalar_dispatch=self.ovs_scalar_dispatch * factor,
+            ovs_batch_action=self.ovs_batch_action * factor,
             ring_op=self.ring_op * factor,
             vm_forward=self.vm_forward * factor,
             bypass_stats_update=self.bypass_stats_update * factor,

@@ -153,6 +153,53 @@ def cache_stats(vswitchd: VSwitchd) -> str:
     return "\n".join(lines)
 
 
+def fastpath_show(vswitchd: VSwitchd) -> str:
+    """``appctl dpif/fastpath-show``: the vectorized fast-path view.
+
+    One screen answering "which lookup tier is serving traffic, how full
+    are the flow batches, and is invalidation precise or sledgehammer":
+    EMC / SMC statistics, the dpcls subtable ranking, and the flow-batch
+    fill histogram.
+    """
+    datapath = vswitchd.datapath
+    emc = datapath.emc
+    smc = datapath.smc
+    lines = [
+        "fast path: %s, burst size %d"
+        % ("vectorized (flow batches)" if datapath.vectorized
+           else "scalar (per-packet)", datapath.burst_size),
+        "lookup tiers: emc=%s smc=%s invalidation=%s"
+        % ("on" if datapath.emc_enabled else "off",
+           "on" if datapath.smc_enabled else "off",
+           datapath.emc_invalidation),
+        "emc: %d entries, hits=%d misses=%d (%.1f%% hit rate) stale=%d"
+        % (len(emc), emc.hits, emc.misses, emc.hit_rate * 100,
+           emc.stale_hits),
+        "emc: insertions=%d skipped=%d evictions=%d stale_evictions=%d "
+        "precise_evictions=%d"
+        % (emc.insertions, emc.insertions_skipped, emc.evictions,
+           emc.stale_evictions, emc.precise_evictions),
+        "smc: %d slots, hits=%d misses=%d (%.1f%% hit rate) "
+        "insertions=%d replacements=%d"
+        % (len(smc), smc.hits, smc.misses, smc.hit_rate * 100,
+           smc.insertions, smc.replacements),
+        "dpcls: %d lookups, %d subtables probed"
+        % (datapath.classifier.lookups,
+           datapath.classifier.subtables_probed),
+    ]
+    for fields, rules, max_priority, hits in datapath.classifier.ranking():
+        lines.append(" subtable [%s]: %d rule(s) max_priority=%d hits=%d"
+                     % (fields, rules, max_priority, hits))
+    lines.append(
+        "flow batches: %d batches, %d packets (avg fill %.2f)"
+        % (datapath.flow_batches, datapath.packets_batched,
+           datapath.avg_batch_fill))
+    for fill in sorted(datapath.batch_fill_counts):
+        lines.append(" fill %2d: %d batch(es)"
+                     % (fill, datapath.batch_fill_counts[fill]))
+    return "\n".join(lines)
+
+
 def bypass_show(vswitchd: VSwitchd, manager=None) -> str:
     """``appctl bypass/show``: the command this prototype adds.
 
@@ -335,6 +382,7 @@ class AppCtl:
             ),
             "show": lambda: show(self.vswitchd),
             "pmd-stats-show": lambda: cache_stats(self.vswitchd),
+            "dpif/fastpath-show": lambda: fastpath_show(self.vswitchd),
             "pmd/stats-show": lambda: pmd_stats_show(self.vswitchd,
                                                      self.obs),
             "coverage/show": lambda: coverage_show(self.obs),

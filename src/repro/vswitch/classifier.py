@@ -6,6 +6,18 @@ flow key once per subtable and does a hash probe, so cost scales with the
 number of distinct masks rather than the number of rules — the same
 algorithm OVS-DPDK uses after an EMC miss.
 
+Two of OVS's lookup optimizations are modelled:
+
+* **Subtable ranking.**  Subtables are visited in descending
+  ``max_priority`` order (hit count breaking ties), so once a match is
+  found every remaining subtable that could only yield a *lower*
+  priority is skipped in one ``break`` — OVS's sorted subtable vector.
+* **Hinted lookup** (:meth:`lookup_hinted`).  The signature-match cache
+  (:mod:`repro.vswitch.smc`) remembers which subtable matched a key
+  hash last time; the hinted subtable is probed first and the result is
+  verified against every subtable that could outrank it, so a stale
+  hint can never return the wrong rule.
+
 The classifier is maintained incrementally from
 :class:`~repro.openflow.table.FlowTable` change events and must always
 agree with the table's linear priority lookup; a property test
@@ -25,7 +37,7 @@ MaskedValues = Tuple[Tuple[str, int], ...]
 class _Subtable:
     """All rules sharing one mask signature."""
 
-    __slots__ = ("signature", "fields", "buckets", "max_priority")
+    __slots__ = ("signature", "fields", "buckets", "max_priority", "hits")
 
     def __init__(self, signature: MaskSignature) -> None:
         self.signature = signature
@@ -33,6 +45,7 @@ class _Subtable:
         self.fields: List[Tuple[str, int]] = sorted(signature)
         self.buckets: Dict[MaskedValues, List[FlowEntry]] = {}
         self.max_priority = 0
+        self.hits = 0  # lookups that found a candidate here (rank input)
 
     def mask_key(self, key: FlowKey) -> MaskedValues:
         return tuple(
@@ -55,10 +68,15 @@ class _Subtable:
         return sum(len(bucket) for bucket in self.buckets.values())
 
 
-def _signature_of(entry: FlowEntry) -> MaskSignature:
+def signature_of(entry: FlowEntry) -> MaskSignature:
+    """The mask signature of a rule — the subtable it lives in."""
     return frozenset(
         (name, mask) for name, (_value, mask) in entry.match.fields.items()
     )
+
+
+# Backward-compatible private alias (pre-SMC name).
+_signature_of = signature_of
 
 
 class TupleSpaceClassifier:
@@ -66,6 +84,10 @@ class TupleSpaceClassifier:
 
     def __init__(self, table: Optional[FlowTable] = None) -> None:
         self._subtables: Dict[MaskSignature, _Subtable] = {}
+        # Subtables in probe order; rebuilt lazily when the set of
+        # subtables (or a max_priority) changes.
+        self._ranked: List[_Subtable] = []
+        self._rank_dirty = False
         self.lookups = 0
         self.subtables_probed = 0
         if table is not None:
@@ -87,18 +109,20 @@ class TupleSpaceClassifier:
     # -- maintenance -------------------------------------------------------
 
     def add_entry(self, entry: FlowEntry) -> None:
-        signature = _signature_of(entry)
+        signature = signature_of(entry)
         subtable = self._subtables.get(signature)
         if subtable is None:
             subtable = _Subtable(signature)
             self._subtables[signature] = subtable
+            self._rank_dirty = True
         values = subtable.mask_entry(entry)
         subtable.buckets.setdefault(values, []).append(entry)
         if entry.priority > subtable.max_priority:
             subtable.max_priority = entry.priority
+            self._rank_dirty = True
 
     def remove_entry(self, entry: FlowEntry) -> None:
-        signature = _signature_of(entry)
+        signature = signature_of(entry)
         subtable = self._subtables.get(signature)
         if subtable is None:
             return
@@ -111,37 +135,99 @@ class TupleSpaceClassifier:
             del subtable.buckets[values]
         if not subtable.buckets:
             del self._subtables[signature]
+            self._rank_dirty = True
         elif entry.priority >= subtable.max_priority:
             subtable.recompute_max_priority()
+            self._rank_dirty = True
+
+    def _ranked_subtables(self) -> List[_Subtable]:
+        if self._rank_dirty:
+            self._ranked = sorted(
+                self._subtables.values(),
+                key=lambda s: (-s.max_priority, -s.hits),
+            )
+            self._rank_dirty = False
+        return self._ranked
 
     # -- lookup ------------------------------------------------------------------
+
+    @staticmethod
+    def _better(entry: FlowEntry, best: Optional[FlowEntry]) -> bool:
+        """OpenFlow winner order: priority, then FIFO (lower flow_id)."""
+        return best is None or entry.priority > best.priority or (
+            entry.priority == best.priority and entry.flow_id < best.flow_id
+        )
+
+    def _probe(self, subtable: _Subtable, key: FlowKey,
+               best: Optional[FlowEntry]) -> Optional[FlowEntry]:
+        self.subtables_probed += 1
+        bucket = subtable.buckets.get(subtable.mask_key(key))
+        if not bucket:
+            return best
+        subtable.hits += 1
+        for entry in bucket:
+            if self._better(entry, best):
+                best = entry
+        return best
 
     def lookup(self, key: FlowKey) -> Optional[FlowEntry]:
         """Highest-priority matching entry (FIFO tie-break), or None.
 
         Matches :meth:`FlowTable.lookup` exactly, including the
         insertion-order tie-break encoded in ``FlowEntry.flow_id``.
+        Subtables are visited best-first, so the scan stops as soon as
+        no remaining subtable can outrank the current winner (ties are
+        still probed: FIFO order must be honoured across subtables).
         """
         self.lookups += 1
         best: Optional[FlowEntry] = None
-        for subtable in self._subtables.values():
+        for subtable in self._ranked_subtables():
             if best is not None and subtable.max_priority < best.priority:
-                continue
-            self.subtables_probed += 1
-            bucket = subtable.buckets.get(subtable.mask_key(key))
-            if not bucket:
-                continue
-            for entry in bucket:
-                if best is None or entry.priority > best.priority or (
-                    entry.priority == best.priority
-                    and entry.flow_id < best.flow_id
-                ):
-                    best = entry
+                break  # ranked descending: nothing later can win
+            best = self._probe(subtable, key, best)
         return best
+
+    def lookup_hinted(
+        self, key: FlowKey, signature: MaskSignature
+    ) -> Tuple[Optional[FlowEntry], bool]:
+        """Lookup with an SMC hint: probe the hinted subtable first.
+
+        Returns ``(best, confirmed)`` where ``confirmed`` is True when
+        the winner came from the hinted subtable — the hint saved the
+        full scan.  The hint is never trusted blindly: every subtable
+        whose ``max_priority`` could outrank the hinted candidate is
+        verified, so the result is always identical to :meth:`lookup`.
+        """
+        hinted = self._subtables.get(signature)
+        if hinted is None:
+            return self.lookup(key), False
+        self.lookups += 1
+        best = self._probe(hinted, key, None)
+        confirmed = best is not None
+        for subtable in self._ranked_subtables():
+            if best is not None and subtable.max_priority < best.priority:
+                break
+            if subtable is hinted:
+                continue
+            candidate = self._probe(subtable, key, best)
+            if candidate is not best:
+                best = candidate
+                confirmed = False
+        return best, confirmed
 
     @property
     def subtable_count(self) -> int:
         return len(self._subtables)
+
+    def ranking(self) -> List[Tuple[str, int, int, int]]:
+        """``(signature, rules, max_priority, hits)`` rows in probe
+        order — the ``dpif/fastpath-show`` view of the subtable sort."""
+        rows = []
+        for subtable in self._ranked_subtables():
+            fields = ",".join(name for name, _mask in subtable.fields)
+            rows.append((fields or "<wildcard>", len(subtable),
+                         subtable.max_priority, subtable.hits))
+        return rows
 
     def __len__(self) -> int:
         return sum(len(subtable) for subtable in self._subtables.values())

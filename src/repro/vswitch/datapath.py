@@ -1,28 +1,47 @@
 """The OVS-DPDK fast path: per-PMD-core packet processing.
 
 One :class:`Datapath` instance is the forwarding engine of a bridge; its
-:meth:`process_ports` is the body of a PMD core's poll iteration.  For
-every received packet it runs EMC -> classifier -> (miss upcall), executes
-the matched actions, batches outputs per destination port, and returns the
-simulated CPU cost of the iteration — the quantity that makes the vSwitch
-a *shared* bottleneck for every chain hop in the paper's Figure 3.
+:meth:`process_ports` is the body of a PMD core's poll iteration.
+
+The default fast path is **vectorized**, modelled on OVS's ``dp_netdev``
+flow batches: flow keys are computed for the whole received burst up
+front, packets are grouped per distinct key, one lookup resolves every
+packet of a batch, and the combined action list is built once per batch.
+Lookup itself is three-tiered, exactly like OVS-DPDK:
+
+1. **EMC** — exact flow key -> full pipeline traversal, precise
+   per-flowmod invalidation (:mod:`repro.vswitch.emc`);
+2. **SMC** — key hash -> subtable hint, validated by the classifier
+   before being believed (:mod:`repro.vswitch.smc`);
+3. **dpcls** — ranked tuple-space search with goto_table pipeline
+   walking (:mod:`repro.vswitch.classifier`).
+
+``vectorized = False`` selects the legacy scalar path (per-packet
+EMC -> classifier resolution and per-packet action dispatch); it is kept
+as the baseline the benchmarks and the equivalence property test compare
+against.  Both paths return the simulated CPU cost of the iteration —
+the quantity that makes the vSwitch a *shared* bottleneck for every
+chain hop in the paper's Figure 3.
 """
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.openflow.actions import (
+    GotoTableAction,
     OutputAction,
     PORT_CONTROLLER,
     SetFieldAction,
+    goto_table_of,
 )
 from repro.openflow.table import FlowEntry, FlowTable
-from repro.packet.flowkey import cached_flow_key
-from repro.packet.headers import MacAddress
+from repro.packet.flowkey import FlowKey, cached_flow_key
+from repro.packet.headers import Ethernet, IPv4, MacAddress, Tcp, Udp, Vlan
 from repro.packet.mbuf import Mbuf
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
-from repro.vswitch.classifier import TupleSpaceClassifier
-from repro.vswitch.emc import ExactMatchCache
+from repro.vswitch.classifier import TupleSpaceClassifier, signature_of
+from repro.vswitch.emc import ExactMatchCache, Traversal
 from repro.vswitch.ports import OvsPort, PortKind
+from repro.vswitch.smc import SignatureMatchCache
 
 # Called with (mbuf, in_port, reason) on table miss / controller action.
 UpcallHandler = Callable[[Mbuf, int, str], None]
@@ -39,6 +58,8 @@ class Datapath:
         upcall_handler: Optional[UpcallHandler] = None,
         emc_enabled: bool = True,
         burst_size: int = 32,
+        vectorized: bool = True,
+        smc_enabled: bool = True,
     ) -> None:
         self.table = table
         self.costs = costs
@@ -46,7 +67,14 @@ class Datapath:
         self.upcall_handler = upcall_handler
         self.burst_size = burst_size
         self.emc_enabled = emc_enabled
+        self.smc_enabled = smc_enabled
+        self.vectorized = vectorized
+        # "precise" tombstones only the EMC keys a flowmod affects;
+        # "generation" restores the old whole-cache wipe (kept as the
+        # baseline the invalidation benchmark compares against).
+        self.emc_invalidation = "precise"
         self.emc = ExactMatchCache()
+        self.smc = SignatureMatchCache()
         self.classifier = TupleSpaceClassifier(table)
         table.add_listener(self._on_table_change)
         # Multi-table pipeline (OF1.3 goto_table): table 0 is the entry
@@ -59,15 +87,38 @@ class Datapath:
         self.ports: Dict[int, OvsPort] = {}
         self.mirrors: List = []  # repro.vswitch.mirror.Mirror
         self.policers: Dict[int, object] = {}  # ofport -> IngressPolicer
-        # Cumulative fast-path statistics.
+        # Cumulative fast-path statistics (all count packets, so the
+        # scalar and vectorized paths stay comparable; smc_hits is the
+        # subset of classifier_hits resolved through a validated hint).
         self.emc_hits = 0
+        self.smc_hits = 0
         self.classifier_hits = 0
         self.miss_upcalls = 0
         self.packets_processed = 0
         self.packets_mirrored = 0
+        # Flow-batch statistics (vectorized path only).
+        self.flow_batches = 0
+        self.packets_batched = 0
+        self.batch_fill_counts: Dict[int, int] = {}
+        # Optional control-path coverage hook (wired by Observability):
+        # called as coverage(event_name, amount).
+        self.coverage: Optional[Callable[..., None]] = None
 
     def _on_table_change(self, kind: str, entry: FlowEntry) -> None:
-        self.emc.invalidate_all()
+        if self.emc_invalidation != "precise":
+            self.emc.invalidate_all()
+            return
+        if kind == "added":
+            # A new rule may outrank cached resolutions for any key it
+            # covers (keys are stable across the pipeline: goto+set-field
+            # combinations are not produced by this control plane).
+            evicted = self.emc.invalidate_matching(entry.match)
+        else:
+            # Removed or modified: every traversal containing the entry
+            # is stale (its actions or pipeline structure changed).
+            evicted = self.emc.invalidate_entry(entry)
+        if evicted and self.coverage is not None:
+            self.coverage("emc_precise_eviction", evicted)
 
     def attach_table(self, table_id: int, table: FlowTable) -> None:
         """Register a later pipeline table (goto_table target)."""
@@ -93,11 +144,70 @@ class Datapath:
     def port(self, ofport: int) -> OvsPort:
         return self.ports[ofport]
 
+    # -- batch statistics -----------------------------------------------------
+
+    @property
+    def avg_batch_fill(self) -> float:
+        """Mean packets per flow batch (1.0 = no batching benefit)."""
+        if not self.flow_batches:
+            return 0.0
+        return self.packets_batched / self.flow_batches
+
     # -- lookup ------------------------------------------------------------------
+
+    def _walk_pipeline(
+        self, key: FlowKey, fill: int
+    ) -> Tuple[Optional[Traversal], float, str]:
+        """Resolve ``key`` through SMC + the multi-table classifier.
+
+        Returns ``(traversal, lookup cost, tier)`` where tier is "smc"
+        or "dpcls" and traversal is None on a table-0 miss.  ``fill`` is
+        only used to bulk-count pipeline drops (one per packet served).
+        """
+        costs = self.costs
+        entries: List[FlowEntry] = []
+        table_id = 0
+        cost = 0.0
+        tier = "dpcls"
+        while True:
+            if table_id == 0 and self.smc_enabled:
+                signature = self.smc.probe(key)
+                if signature is not None:
+                    entry, confirmed = self.classifier.lookup_hinted(
+                        key, signature)
+                else:
+                    entry, confirmed = self.classifier.lookup(key), False
+                validated = entry is not None and confirmed
+                self.smc.account(validated)
+                if validated:
+                    tier = "smc"
+                    cost += costs.ovs_smc_hit
+                else:
+                    cost += costs.ovs_classifier_hit
+                    if entry is not None:
+                        self.smc.insert(key, signature_of(entry))
+            else:
+                entry = self.classifiers[table_id].lookup(key)
+                cost += costs.ovs_classifier_hit
+            if entry is None:
+                if table_id == 0:
+                    return None, cost, tier
+                self.pipeline_drops += fill
+                break
+            entries.append(entry)
+            goto = goto_table_of(entry.actions)
+            if goto is None:
+                break
+            if (goto.table_id <= table_id
+                    or goto.table_id not in self.classifiers):
+                self.pipeline_drops += fill
+                break
+            table_id = goto.table_id
+        return tuple(entries), cost, tier
 
     def classify(self, mbuf: Mbuf, in_port: int,
                  stages=None) -> "tuple[Optional[tuple], float]":
-        """Resolve one packet through the pipeline.
+        """Resolve one packet through the pipeline (the scalar path).
 
         Returns ``(traversal, cpu cost)`` where traversal is the tuple
         of flow entries matched in pipeline order, or None on a table-0
@@ -108,10 +218,10 @@ class Datapath:
 
         ``stages`` (a :class:`repro.obs.cycles.StageAccounting`) splits
         the lookup cost between the emc_lookup / classifier_lookup /
-        miss_upcall stages for ``pmd/stats-show``.
+        miss_upcall stages for ``pmd/stats-show``.  The scalar resolver
+        never consults the SMC — that tier belongs to the vectorized
+        path; this one is the pre-batching baseline.
         """
-        from repro.openflow.actions import goto_table_of
-
         key = cached_flow_key(mbuf, in_port)
         if self.emc_enabled:
             traversal = self.emc.lookup(key)
@@ -161,6 +271,52 @@ class Datapath:
             self.emc.insert(key, traversal)
         return traversal, cost
 
+    def _resolve_batch(self, key: FlowKey, batch: List[Mbuf],
+                       stages=None) -> "tuple[Optional[tuple], float]":
+        """Resolve one flow batch; one lookup serves every packet.
+
+        Same contract as :meth:`classify`, but counters and stage
+        attribution are bulk-incremented by the batch fill, and the
+        lookup walks all three tiers (EMC -> SMC -> dpcls).
+        """
+        fill = len(batch)
+        costs = self.costs
+        if self.emc_enabled:
+            traversal = self.emc.lookup(key)
+            if traversal is not None:
+                self.emc_hits += fill
+                if stages is not None:
+                    stages.add("emc_lookup", costs.ovs_emc_hit,
+                               packets=fill)
+                self._trace_batch(batch, "emc", result="hit")
+                return traversal, costs.ovs_emc_hit
+        traversal, cost, tier = self._walk_pipeline(key, fill)
+        if traversal is None:
+            self.miss_upcalls += fill
+            upcall_cost = costs.ovs_miss_upcall * fill
+            if stages is not None:
+                stages.add("miss_upcall", upcall_cost, packets=fill)
+            self._trace_batch(batch, "upcall", reason="no_match")
+            # Like the scalar path, the upcall dominates: the failed
+            # lookup's cost is folded into it rather than itemized.
+            return None, upcall_cost
+        self.classifier_hits += fill
+        if tier == "smc":
+            self.smc_hits += fill
+        if stages is not None:
+            stage = "smc_lookup" if tier == "smc" else "classifier_lookup"
+            stages.add(stage, cost, packets=fill)
+        self._trace_batch(batch, "classifier",
+                          tables=len(traversal), tier=tier)
+        if self.emc_enabled:
+            self.emc.insert(key, traversal)
+        return traversal, cost
+
+    def _trace_batch(self, batch: List[Mbuf], hop: str, **attrs) -> None:
+        for mbuf in batch:
+            if mbuf.trace is not None:
+                mbuf.trace.add(self.clock(), hop, **attrs)
+
     # -- action execution -----------------------------------------------------------
 
     @staticmethod
@@ -170,8 +326,6 @@ class Datapath:
         Assumes per-mbuf packet objects (functional paths); benchmark
         workloads that share a template never install set-field rules.
         """
-        from repro.packet.headers import Ethernet, IPv4, Tcp, Udp, Vlan
-
         packet = mbuf.packet
         if field in ("eth_src", "eth_dst"):
             eth = packet.get(Ethernet)
@@ -266,15 +420,29 @@ class Datapath:
                 total_cost += costs.ring_op * len(mbufs)
                 if stages is not None:
                     stages.add("actions", costs.ring_op * len(mbufs))
-        from repro.openflow.actions import GotoTableAction
+        if self.vectorized:
+            total_cost += self._process_batched(
+                mbufs, port.ofport, now, output_batches, stages)
+        else:
+            total_cost += self._process_scalar(
+                mbufs, port.ofport, now, output_batches, stages)
+        self.packets_processed += len(mbufs)
+        return total_cost, len(mbufs)
 
+    def _process_scalar(self, mbufs: List[Mbuf], in_port: int, now: float,
+                        output_batches: Dict[int, List[Mbuf]],
+                        stages=None) -> float:
+        """Legacy per-packet resolution + per-packet action dispatch."""
+        costs = self.costs
+        action_cost = costs.ovs_action_per_packet + costs.ovs_scalar_dispatch
+        total_cost = 0.0
         for mbuf in mbufs:
-            traversal, lookup_cost = self.classify(mbuf, port.ofport,
+            traversal, lookup_cost = self.classify(mbuf, in_port,
                                                    stages=stages)
             total_cost += lookup_cost
             if traversal is None:
                 if self.upcall_handler is not None:
-                    self.upcall_handler(mbuf, port.ofport, "no_match")
+                    self.upcall_handler(mbuf, in_port, "no_match")
                 else:
                     mbuf.free()
                 continue
@@ -285,10 +453,68 @@ class Datapath:
                     action for action in entry.actions
                     if not isinstance(action, GotoTableAction)
                 )
-            self.execute_actions(combined, mbuf, port.ofport,
-                                 output_batches)
-        self.packets_processed += len(mbufs)
-        return total_cost, len(mbufs)
+            total_cost += action_cost
+            if stages is not None:
+                stages.add("actions", action_cost, packets=1)
+            self.execute_actions(combined, mbuf, in_port, output_batches)
+        return total_cost
+
+    def _process_batched(self, mbufs: List[Mbuf], in_port: int, now: float,
+                         output_batches: Dict[int, List[Mbuf]],
+                         stages=None) -> float:
+        """dp_netdev-style flow batches: group the burst by flow key,
+        resolve each distinct key once, apply actions batch-at-a-time.
+
+        Packets of the same flow keep their relative order (each batch
+        preserves burst order); packets of different flows may be
+        reordered against each other, exactly like real OVS output
+        batching.
+        """
+        batches: Dict[FlowKey, List[Mbuf]] = {}
+        for mbuf in mbufs:
+            key = cached_flow_key(mbuf, in_port)
+            batch = batches.get(key)
+            if batch is None:
+                batches[key] = [mbuf]
+            else:
+                batch.append(mbuf)
+        costs = self.costs
+        total_cost = 0.0
+        for key, batch in batches.items():
+            fill = len(batch)
+            self.flow_batches += 1
+            self.packets_batched += fill
+            self.batch_fill_counts[fill] = \
+                self.batch_fill_counts.get(fill, 0) + 1
+            traversal, lookup_cost = self._resolve_batch(key, batch,
+                                                         stages=stages)
+            total_cost += lookup_cost
+            if traversal is None:
+                if self.upcall_handler is not None:
+                    for mbuf in batch:
+                        self.upcall_handler(mbuf, in_port, "no_match")
+                else:
+                    for mbuf in batch:
+                        mbuf.free()
+                continue
+            byte_total = sum(mbuf.wire_length for mbuf in batch)
+            combined = [
+                action
+                for entry in traversal
+                for action in entry.actions
+                if not isinstance(action, GotoTableAction)
+            ]
+            for entry in traversal:
+                entry.account(fill, byte_total, now)
+            action_cost = (costs.ovs_batch_action
+                           + costs.ovs_action_per_packet * fill)
+            total_cost += action_cost
+            if stages is not None:
+                stages.add("actions", action_cost, packets=fill)
+            for mbuf in batch:
+                self.execute_actions(combined, mbuf, in_port,
+                                     output_batches)
+        return total_cost
 
     def flush_outputs(self, output_batches: Dict[int, List[Mbuf]],
                       stages=None) -> float:

@@ -69,6 +69,24 @@ class TestDumps:
         assert "classifier hits: 1" in text
         assert "packets processed: 1" in text
 
+    def test_fastpath_show(self, node):
+        appctl.add_flow(node.switch, "in_port=2,udp,actions=output:1")
+        for _ in range(2):  # second burst: EMC hit + a filled batch
+            node.vms["vm2"].pmd("dpdkr1").tx_burst([mk_mbuf()])
+            node.switch.step_dataplane()
+        text = appctl.fastpath_show(node.switch)
+        assert "fast path: vectorized (flow batches)" in text
+        assert "invalidation=precise" in text
+        assert "emc: 1 entries" in text
+        assert "smc:" in text
+        assert "subtable [" in text
+        assert "fill  1: 2 batch(es)" in text
+
+    def test_fastpath_show_via_dispatcher(self, node):
+        text = AppCtl(node.switch).run("dpif/fastpath-show")
+        assert "fast path:" in text
+        assert "lookup tiers: emc=on smc=on" in text
+
     def test_bypass_show(self, node):
         appctl.add_flow(node.switch, "in_port=1,actions=output:2")
         node.vms["vm1"].pmd("dpdkr0").tx_burst([mk_mbuf(frame_size=64)])

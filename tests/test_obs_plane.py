@@ -56,6 +56,25 @@ class TestResilienceExport:
         assert "bypass_link_active" in registry.coverage_report()
 
 
+class TestFastPathExport:
+    def test_smc_and_batch_fill_metrics_exported(self):
+        # A vanilla chain pushes everything through the vectorized fast
+        # path, so the SMC family and the fill histogram must be live.
+        experiment, _result = run_bypass_chain(num_vms=2, bypass=False)
+        text = prometheus_text(experiment.obs.registry)
+        assert "repro_datapath_smc_hits" in text
+        assert "repro_datapath_flow_batches" in text
+        assert "repro_smc_hits" in text
+        assert "repro_emc_precise_evictions" in text
+        assert 'repro_datapath_batch_fill_total{' in text
+        datapath = experiment.node.switch.datapath
+        assert datapath.flow_batches > 0
+        assert experiment.obs.registry.sample_value(
+            "repro_datapath_flow_batches",
+            {"switch": experiment.node.switch.name},
+        ) == datapath.flow_batches
+
+
 class TestAppctlObservability:
     def test_commands_require_wiring(self):
         node = NfvNode()
