@@ -65,6 +65,26 @@ def _emit_obs(args: argparse.Namespace, experiment) -> None:
         print(obs.report())
 
 
+def _sched_kwargs(args: argparse.Namespace) -> dict:
+    """ChainExperiment scheduler kwargs from the --pmd-* flags."""
+    kwargs = {
+        "rxq_assign": getattr(args, "pmd_rxq_assign", "roundrobin"),
+        "auto_lb": getattr(args, "pmd_auto_lb", False),
+    }
+    overrides = {}
+    if getattr(args, "pmd_auto_lb_interval", None) is not None:
+        overrides["rebalance_interval"] = args.pmd_auto_lb_interval
+    if getattr(args, "pmd_auto_lb_load_threshold", None) is not None:
+        overrides["load_threshold"] = args.pmd_auto_lb_load_threshold
+    if getattr(args, "pmd_auto_lb_improvement", None) is not None:
+        overrides["improvement_threshold"] = args.pmd_auto_lb_improvement
+    if overrides:
+        from repro.sched.autolb import AutoLbPolicy
+
+        kwargs["auto_lb_policy"] = AutoLbPolicy(**overrides)
+    return kwargs
+
+
 def cmd_fig3(args: argparse.Namespace, memory_only: bool) -> int:
     rows = []
     last_experiment = None
@@ -79,6 +99,7 @@ def cmd_fig3(args: argparse.Namespace, memory_only: bool) -> int:
                 frame_size=args.frame_size,
                 trace_sample=args.trace_sample,
                 snapshot_period=args.snapshot_period,
+                **_sched_kwargs(args)
             )
             result = experiment.run()
             line.append(round(result.throughput_mpps, 3))
@@ -104,6 +125,7 @@ def cmd_latency(args: argparse.Namespace) -> int:
             source_rate_pps=args.rate,
             trace_sample=args.trace_sample,
             snapshot_period=args.snapshot_period,
+            **_sched_kwargs(args)
         )
         ours = experiment.run()
         last_experiment = experiment
@@ -192,6 +214,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--obs-out", default=None, metavar="DIR",
                        help="write metrics.prom / snapshots.jsonl / "
                             "traces.jsonl / report.txt for the last run")
+        p.add_argument("--pmd-rxq-assign", default="roundrobin",
+                       choices=("roundrobin", "cycles", "group"),
+                       help="rxq-to-core assignment policy "
+                            "(default: roundrobin)")
+        p.add_argument("--pmd-auto-lb", action="store_true",
+                       help="enable the PMD auto load balancer")
+        p.add_argument("--pmd-auto-lb-interval", type=float,
+                       default=None, metavar="SECONDS",
+                       help="auto-LB check interval (simulated seconds)")
+        p.add_argument("--pmd-auto-lb-load-threshold", type=float,
+                       default=None, metavar="FRACTION",
+                       help="busy fraction a core must reach before the "
+                            "auto-LB considers rebalancing")
+        p.add_argument("--pmd-auto-lb-improvement", type=float,
+                       default=None, metavar="FRACTION",
+                       help="variance improvement required to apply a "
+                            "rebalance")
 
     p3a = sub.add_parser("fig3a", help="Figure 3(a): memory-only chains")
     common(p3a, _parse_range("2:8"))

@@ -98,6 +98,9 @@ class ChainExperiment:
         accounting_enabled: bool = True,
         trace_sample: Optional[int] = None,
         snapshot_period: Optional[float] = None,
+        rxq_assign: str = "roundrobin",
+        auto_lb: bool = False,
+        auto_lb_policy=None,
     ) -> None:
         min_vms = 2 if memory_only else 1
         if num_vms < min_vms:
@@ -122,6 +125,9 @@ class ChainExperiment:
         self.accounting_enabled = accounting_enabled
         self.trace_sample = trace_sample
         self.snapshot_period = snapshot_period
+        self.rxq_assign = rxq_assign
+        self.auto_lb = auto_lb
+        self.auto_lb_policy = auto_lb_policy
         self.env: Optional[Environment] = None
         self.node: Optional[NfvNode] = None
         self.apps: List = []
@@ -147,6 +153,9 @@ class ChainExperiment:
             highway_enabled=self.bypass,
             ring_size=self.ring_size,
             trace_sample_interval=self.trace_sample,
+            rxq_assign=self.rxq_assign,
+            auto_lb=self.auto_lb,
+            auto_lb_policy=self.auto_lb_policy,
         )
         datapath = self.node.switch.datapath
         datapath.burst_size = self.burst_size

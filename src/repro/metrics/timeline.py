@@ -81,6 +81,28 @@ class EventTimeline:
         return len(self.events)
 
 
+def attach_sched_tracing(timeline: EventTimeline, scheduler) -> None:
+    """Subscribe a timeline to a PmdScheduler's rebalance activity.
+
+    Records one ``sched-rebalance`` event per applied plan (with the
+    variance-improvement estimate) and one ``sched-port-moved`` per
+    individual move, so an experiment's narrative shows exactly when
+    the layout changed during live traffic.
+    """
+    scheduler.on_move.append(
+        lambda port, src_core, dst_core: timeline.record(
+            "sched-port-moved", port=port.name, src=src_core,
+            dst=dst_core,
+        )
+    )
+    scheduler.on_apply.append(
+        lambda plan: timeline.record(
+            "sched-rebalance", moves=len(plan.moves),
+            improvement="%.2f" % plan.improvement,
+        )
+    )
+
+
 def attach_highway_tracing(timeline: EventTimeline, detector,
                            manager) -> None:
     """Subscribe a timeline to the detector and bypass manager."""

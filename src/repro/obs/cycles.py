@@ -64,6 +64,26 @@ class StageAccounting:
         self.seconds.clear()
         self.packets.clear()
 
+    def subtract(self, other: "StageAccounting") -> None:
+        """Remove another table's attribution from this one, clamped at
+        zero.  The vSwitch scheduler uses this to keep per-core tables
+        honest when a port moves cores or leaves: the departing port's
+        own table is subtracted from the core it accumulated on, so the
+        core table always decomposes the work done for ports it still
+        owns (plus core-local stages like tx/flush)."""
+        for stage, seconds in other.seconds.items():
+            remaining = self.seconds.get(stage, 0.0) - seconds
+            if remaining > 1e-18:
+                self.seconds[stage] = remaining
+            else:
+                self.seconds.pop(stage, None)
+        for stage, packets in other.packets.items():
+            remaining = self.packets.get(stage, 0) - packets
+            if remaining > 0:
+                self.packets[stage] = remaining
+            else:
+                self.packets.pop(stage, None)
+
     @property
     def total_seconds(self) -> float:
         return sum(self.seconds.values())
@@ -86,6 +106,28 @@ class StageAccounting:
         return "<StageAccounting stages=%d total=%.3gs>" % (
             len(self.seconds), self.total_seconds
         )
+
+
+class StageTee:
+    """Fans one ``add()`` stream out to several stage tables.
+
+    The datapath only ever calls ``stages.add(...)``; handing it a tee
+    lets one port poll be attributed simultaneously to the core's
+    aggregate table (``pmd/stats-show``) and the port's own table (the
+    scheduler's reattribution unit) without the hot path knowing.
+    """
+
+    __slots__ = ("targets",)
+
+    def __init__(self, *targets) -> None:
+        self.targets = [target for target in targets if target is not None]
+
+    def add(self, stage: str, seconds: float, packets: int = 0) -> None:
+        for target in self.targets:
+            target.add(stage, seconds, packets)
+
+    def __repr__(self) -> str:
+        return "<StageTee targets=%d>" % len(self.targets)
 
 
 class PmdCycleReport:

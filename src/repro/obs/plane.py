@@ -110,6 +110,82 @@ class Observability:
 
         self.registry.register_collector(collect_loops)
 
+        scheduler = getattr(switch, "scheduler", None)
+        if scheduler is not None:
+            self._register_sched(switch, scheduler, name)
+
+    def _register_sched(self, switch, scheduler, name: str) -> None:
+        """rxq scheduler + auto-LB metrics and coverage for one switch."""
+        labels = {"switch": name}
+        coverage = self.registry.coverage
+        scheduler.on_apply.append(
+            lambda plan: coverage("sched_rebalance_applied"))
+        scheduler.on_move.append(
+            lambda port, src, dst: coverage("sched_port_moved"))
+
+        def collect_sched() -> Iterable[Sample]:
+            tracker = scheduler.tracker
+            yield Sample("repro_sched_rebalances_total", dict(labels),
+                         float(scheduler.rebalances), "counter",
+                         "rebalance plans applied")
+            yield Sample("repro_sched_port_moves_total", dict(labels),
+                         float(scheduler.port_moves), "counter",
+                         "individual port moves applied")
+            yield Sample("repro_sched_intervals_total", dict(labels),
+                         float(tracker.intervals), "counter",
+                         "load-tracker measurement intervals closed")
+            for core, load in enumerate(
+                    tracker.core_loads(scheduler.n_cores)):
+                core_labels = dict(labels)
+                core_labels["core"] = str(core)
+                yield Sample(
+                    "repro_sched_core_load_cycles", core_labels,
+                    float(seconds_to_cycles(load)), "gauge",
+                    "EWMA per-interval cycles attributed to one core",
+                )
+                yield Sample(
+                    "repro_sched_core_ports", core_labels,
+                    float(len(scheduler.core_ports[core])), "gauge",
+                    "ports currently assigned to one core",
+                )
+            for (ofport, core), load in tracker.pairs():
+                pair_labels = dict(labels)
+                pair_labels["ofport"] = str(ofport)
+                pair_labels["core"] = str(core)
+                yield Sample(
+                    "repro_sched_port_load_cycles", pair_labels,
+                    float(seconds_to_cycles(load)), "gauge",
+                    "EWMA per-interval cycles for one (port, core) pair",
+                )
+            auto_lb = getattr(switch, "auto_lb", None)
+            if auto_lb is None:
+                return
+            yield Sample("repro_sched_autolb_checks_total", dict(labels),
+                         float(auto_lb.checks_run), "counter",
+                         "auto-LB check passes")
+            yield Sample("repro_sched_autolb_applied_total",
+                         dict(labels),
+                         float(auto_lb.rebalances_applied), "counter",
+                         "auto-LB rebalances applied")
+            for reason in ("warmup", "no_overload", "no_moves",
+                           "small_improvement"):
+                skip_labels = dict(labels)
+                skip_labels["reason"] = reason
+                yield Sample(
+                    "repro_sched_autolb_skipped_total", skip_labels,
+                    float(getattr(auto_lb, "skipped_" + reason)),
+                    "counter", "auto-LB checks skipped by reason",
+                )
+            plan = scheduler.last_plan
+            if plan is not None:
+                yield Sample(
+                    "repro_sched_last_improvement", dict(labels),
+                    plan.improvement, "gauge",
+                    "variance improvement of the last applied plan",
+                )
+
+        self.registry.register_collector(collect_sched)
+
     def register_poll_loop(self, loop,
                            stages: Optional[StageAccounting] = None) -> None:
         """Track one non-switch poll loop (guest app, source, sink)."""

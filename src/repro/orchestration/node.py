@@ -21,6 +21,7 @@ from repro.hypervisor.compute_agent import ComputeAgent
 from repro.hypervisor.qemu import Hypervisor, VirtualMachine
 from repro.mem.memzone import MemzoneRegistry
 from repro.obs.plane import Observability
+from repro.sched.autolb import AutoLbPolicy, DEFAULT_AUTO_LB_POLICY
 from repro.openflow.controller import ControllerConnection, SimpleController
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import Environment
@@ -63,6 +64,9 @@ class NfvNode:
         watchdog_policy: WatchdogPolicy = DEFAULT_WATCHDOG_POLICY,
         obs: Optional[Observability] = None,
         trace_sample_interval: Optional[int] = None,
+        rxq_assign: str = "roundrobin",
+        auto_lb: bool = False,
+        auto_lb_policy: Optional["AutoLbPolicy"] = None,
     ) -> None:
         self.env = env
         self.costs = costs
@@ -79,6 +83,10 @@ class NfvNode:
             connection=self.connection,
             costs=costs,
             n_pmd_cores=n_pmd_cores,
+            rxq_assign=rxq_assign,
+            auto_lb=auto_lb,
+            auto_lb_policy=(auto_lb_policy if auto_lb_policy is not None
+                            else DEFAULT_AUTO_LB_POLICY),
         )
         self.controller = SimpleController(self.connection)
         self.hypervisor = Hypervisor(self.registry, env=env, costs=costs,

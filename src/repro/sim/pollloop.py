@@ -56,6 +56,9 @@ class PollLoop:
         self.busy_time = 0.0
         self.idle_time = 0.0
         self.iterations = 0
+        # Window marks for sample_activity() (load-balancer sampling).
+        self._busy_mark = 0.0
+        self._idle_mark = 0.0
         self._stopped = False
         self.process: Optional[Process] = None
 
@@ -75,6 +78,21 @@ class PollLoop:
         """Zero busy/idle counters (e.g. at a measurement window start)."""
         self.busy_time = 0.0
         self.idle_time = 0.0
+        self._busy_mark = 0.0
+        self._idle_mark = 0.0
+
+    def sample_activity(self) -> "tuple[float, float]":
+        """``(busy, idle)`` deltas since the previous sample.
+
+        A cheap windowed view for periodic consumers (the PMD auto-load
+        balancer checks per-core busy fractions each interval) that
+        leaves the cumulative counters untouched.
+        """
+        busy = self.busy_time - self._busy_mark
+        idle = self.idle_time - self._idle_mark
+        self._busy_mark = self.busy_time
+        self._idle_mark = self.idle_time
+        return busy, idle
 
     @property
     def utilization(self) -> float:

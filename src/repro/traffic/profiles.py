@@ -67,6 +67,54 @@ def uniform_profile(
     )
 
 
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Normalized Zipf weights: ``w_k ∝ 1 / k^exponent`` for k=1..n.
+
+    The standard skewed-popularity model for flows and ports; with
+    ``exponent=1`` the heaviest of 8 items carries ~37% of the total.
+    """
+    if n < 1:
+        raise ValueError("need at least one weight")
+    raw = [1.0 / (k ** exponent) for k in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def skewed_profile(
+    frame_size: int = 64,
+    flows: int = 8,
+    exponent: float = 1.0,
+    name: str = "",
+) -> TrafficProfile:
+    """Zipf-skewed flow mix: flow k appears with multiplicity ∝ 1/k^e.
+
+    Multiplicities are granted in 1%-of-total quanta (every flow keeps
+    at least one template), so a round-robin source reproduces the skew
+    without per-packet sampling.
+    """
+    weights = zipf_weights(flows, exponent)
+    templates: List[Template] = []
+    for flow, weight in enumerate(weights):
+        packet = make_udp_packet(
+            src_port=1000 + flow, dst_port=2000, frame_size=frame_size
+        )
+        templates.extend([_template(packet)] * max(1, int(weight * 100)))
+    return TrafficProfile(
+        name=name or "zipf-%g %dB x%d" % (exponent, frame_size, flows),
+        templates=tuple(templates),
+    )
+
+
+def hot_port_rates(total_pps: float, n_ports: int,
+                   exponent: float = 1.0) -> List[float]:
+    """Split an aggregate offered load across ports Zipf-style.
+
+    The scheduler benchmark's load shape: port 0 is the hot port, the
+    tail ports trickle.  Returns per-port pps summing to ``total_pps``.
+    """
+    return [total_pps * w for w in zipf_weights(n_ports, exponent)]
+
+
 def imix_profile(flows_per_size: int = 1) -> TrafficProfile:
     """The classic simple-IMIX mix: 64B x7, 570B x4, 1518B x1."""
     templates: List[Template] = []

@@ -326,6 +326,89 @@ def bypass_health(manager=None) -> str:
     return "\n".join(lines)
 
 
+def pmd_rxq_show(vswitchd: VSwitchd) -> str:
+    """``appctl dpif-netdev/pmd-rxq-show``: per-core port placement.
+
+    Mirrors the real command's shape: one block per PMD core listing
+    its ports with measured load share (EWMA cycles, as a percentage of
+    the core's attributed total), plus pinning/isolation marks.
+    """
+    scheduler = vswitchd.scheduler
+    tracker = scheduler.tracker
+    lines = []
+    for core_index, ports in enumerate(scheduler.core_ports):
+        isolated = core_index in scheduler.isolated_cores
+        lines.append("pmd thread core %d:%s" % (
+            core_index, "  isolated: true" if isolated else ""
+        ))
+        core_total = sum(tracker.port_load(p.ofport) for p in ports)
+        for port in ports:
+            load = tracker.port_load(port.ofport)
+            share = 100.0 * load / core_total if core_total > 0 else 0.0
+            pinned = scheduler.pinned_core(port.ofport)
+            mark = "  (pinned)" if pinned is not None else ""
+            lines.append("  port: %-12s queue-id: 0  usage: %5.1f %%%s"
+                         % (port.name, share, mark))
+        if not ports:
+            lines.append("  (no ports)")
+    return "\n".join(lines)
+
+
+def sched_show(vswitchd: VSwitchd) -> str:
+    """``appctl sched/show``: scheduler + auto-LB state in one screen.
+
+    Policy, per-core measured loads, rebalance history and — when the
+    auto load balancer is enabled — its thresholds and every skip
+    reason, answering "why did it (not) rebalance?".
+    """
+    scheduler = vswitchd.scheduler
+    tracker = scheduler.tracker
+    lines = [
+        "rxq scheduler: policy=%s cores=%d ports=%d"
+        % (scheduler.policy.name, scheduler.n_cores,
+           len(scheduler.ports())),
+        "load tracker: %d interval(s) closed, %d (port, core) pair(s)"
+        % (tracker.intervals, len(tracker.pairs())),
+    ]
+    for core_index, load in enumerate(tracker.core_loads(
+            scheduler.n_cores)):
+        names = [p.name for p in scheduler.core_ports[core_index]]
+        lines.append(" core %d: load=%.3g s/interval ports=[%s]"
+                     % (core_index, load, ", ".join(names)))
+    lines.append("rebalances: %d applied, %d port move(s)"
+                 % (scheduler.rebalances, scheduler.port_moves))
+    plan = scheduler.last_plan
+    if plan is not None:
+        lines.append(" last plan: %d move(s), variance %.3g -> %.3g "
+                     "(%.0f%% improvement)"
+                     % (len(plan.moves), plan.variance_before,
+                        plan.variance_after, plan.improvement * 100))
+        for move in plan.moves:
+            lines.append("  move %s: core %d -> core %d"
+                         % (move.port_name, move.src_core,
+                            move.dst_core))
+    auto_lb = vswitchd.auto_lb
+    if auto_lb is None:
+        lines.append("auto-lb: disabled")
+        return "\n".join(lines)
+    policy = auto_lb.policy
+    lines.append(
+        "auto-lb: enabled, interval=%gs load_threshold=%.2f "
+        "improvement_threshold=%.2f"
+        % (policy.rebalance_interval, policy.load_threshold,
+           policy.improvement_threshold))
+    lines.append(
+        " checks=%d applied=%d skipped: warmup=%d no_overload=%d "
+        "no_moves=%d small_improvement=%d"
+        % (auto_lb.checks_run, auto_lb.rebalances_applied,
+           auto_lb.skipped_warmup, auto_lb.skipped_no_overload,
+           auto_lb.skipped_no_moves, auto_lb.skipped_small_improvement))
+    if auto_lb.last_busy_fractions:
+        lines.append(" last busy fractions: [%s]" % ", ".join(
+            "%.2f" % b for b in auto_lb.last_busy_fractions))
+    return "\n".join(lines)
+
+
 def pmd_stats_show(vswitchd: VSwitchd, obs=None) -> str:
     """``appctl pmd/stats-show``: busy/idle cycles + per-stage breakdown.
 
@@ -385,6 +468,11 @@ class AppCtl:
             "dpif/fastpath-show": lambda: fastpath_show(self.vswitchd),
             "pmd/stats-show": lambda: pmd_stats_show(self.vswitchd,
                                                      self.obs),
+            "dpif-netdev/pmd-rxq-show": lambda: pmd_rxq_show(
+                self.vswitchd
+            ),
+            "sched/show": lambda: sched_show(self.vswitchd),
+            "sched/rebalance": lambda: str(self.vswitchd.rebalance()),
             "coverage/show": lambda: coverage_show(self.obs),
             "metrics/dump": lambda: metrics_dump(self.obs),
             "trace/dump": lambda: trace_dump(

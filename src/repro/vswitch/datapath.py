@@ -564,13 +564,27 @@ class Datapath:
         return total_cost
 
     def process_ports(self, ports: List[OvsPort],
-                      stages=None) -> float:
-        """One full PMD iteration over ``ports``; returns total cpu cost."""
+                      stages=None, stages_for=None,
+                      on_port_cost=None) -> float:
+        """One full PMD iteration over ``ports``; returns total cpu cost.
+
+        ``stages_for(port)`` (optional) selects the stage table a given
+        port's work is attributed to — the vswitchd passes a tee over
+        the core table and the port's own table so the scheduler can
+        reattribute when ports move.  ``on_port_cost(port, cost,
+        packets)`` (optional) is called after each non-idle port poll;
+        the rxq load tracker samples per-(port, core) cycles there.
+        The final output flush is charged to ``stages`` only: tx work
+        is batched across ports and not attributable to one of them.
+        """
         output_batches: Dict[int, List[Mbuf]] = {}
         total_cost = 0.0
         for port in ports:
-            cost, _count = self.process_port(port, output_batches,
-                                             stages=stages)
+            port_stages = stages if stages_for is None else stages_for(port)
+            cost, count = self.process_port(port, output_batches,
+                                            stages=port_stages)
+            if on_port_cost is not None and (cost or count):
+                on_port_cost(port, cost, count)
             total_cost += cost
         total_cost += self.flush_outputs(output_batches, stages=stages)
         return total_cost

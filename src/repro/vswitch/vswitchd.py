@@ -12,8 +12,14 @@ from typing import Dict, List, Optional
 
 from repro.dpdk.dpdkr import DpdkrSharedRings
 from repro.mem.memzone import MemzoneRegistry
-from repro.obs.cycles import PmdCycleReport, StageAccounting
+from repro.obs.cycles import PmdCycleReport, StageAccounting, StageTee
 from repro.openflow.controller import ControllerConnection
+from repro.sched.autolb import (
+    AutoLbPolicy,
+    AutoLoadBalancer,
+    DEFAULT_AUTO_LB_POLICY,
+)
+from repro.sched.scheduler import PmdScheduler, RebalancePlan
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import Environment
 from repro.sim.nic import Nic
@@ -34,6 +40,9 @@ class VSwitchd:
         n_pmd_cores: int = 1,
         control_interval: float = 0.0005,
         name: str = "ovs",
+        rxq_assign: str = "roundrobin",
+        auto_lb: bool = False,
+        auto_lb_policy: AutoLbPolicy = DEFAULT_AUTO_LB_POLICY,
     ) -> None:
         if n_pmd_cores < 1:
             raise ValueError("need at least one PMD core")
@@ -49,15 +58,26 @@ class VSwitchd:
         )
         self.datapath = self.bridge.datapath
         self._next_ofport = 1
-        self._core_ports: List[List[OvsPort]] = [
-            [] for _ in range(n_pmd_cores)
-        ]
+        # The scheduler owns the core -> ports map; ``_core_ports``
+        # aliases its lists (same objects — the PMD loops close over
+        # them, so scheduler moves are live).
+        self.scheduler = PmdScheduler(n_pmd_cores, policy=rxq_assign)
+        self.scheduler.on_move.append(self._on_port_moved)
+        self._core_ports: List[List[OvsPort]] = self.scheduler.core_ports
         # Per-core datapath stage accounting (pmd/stats-show): the
         # Datapath is shared, so attribution to a core happens by
         # passing the core's StageAccounting through process_ports.
         self._core_stages: List[StageAccounting] = [
             StageAccounting() for _ in range(n_pmd_cores)
         ]
+        # Per-port stage tables (the reattribution unit when the
+        # scheduler moves a port) and the per-port tees combining them
+        # with the owning core's table.
+        self._port_stages: Dict[int, StageAccounting] = {}
+        self._port_tees: Dict[int, StageTee] = {}
+        self.auto_lb: Optional[AutoLoadBalancer] = (
+            AutoLoadBalancer(self, auto_lb_policy) if auto_lb else None
+        )
         self._pmd_loops: List[PollLoop] = []
         self._control_loop = None
         self._running = False
@@ -94,15 +114,43 @@ class VSwitchd:
 
     def _register(self, port: OvsPort) -> None:
         self.datapath.add_port(port)
-        core_index = port.ofport % self.n_pmd_cores
-        self._core_ports[core_index].append(port)
+        core_index = self.scheduler.add_port(port)
+        port_stages = StageAccounting()
+        self._port_stages[port.ofport] = port_stages
+        self._port_tees[port.ofport] = StageTee(
+            self._core_stages[core_index], port_stages
+        )
 
     def del_port(self, ofport: int) -> OvsPort:
         port = self.datapath.remove_port(ofport)
-        for core in self._core_ports:
-            if port in core:
-                core.remove(port)
+        core_index = self.scheduler.remove_port(port)
+        # Reattribution: the core's aggregate stage table stops
+        # claiming work done for a port it no longer owns — without
+        # this, pmd/stats-show silently mixes departed ports into the
+        # core's story forever.
+        port_stages = self._port_stages.pop(ofport, None)
+        self._port_tees.pop(ofport, None)
+        if port_stages is not None and core_index is not None:
+            self._core_stages[core_index].subtract(port_stages)
         return port
+
+    def _on_port_moved(self, port: OvsPort, src_core: int,
+                       dst_core: int) -> None:
+        """Scheduler move hook: reattribute stage accounting.
+
+        The port's accumulated stages leave the old core's table (that
+        work is history the new core never did) and the port table
+        restarts from zero on the new core — never silently mixing two
+        cores' attributions.  The loops' busy/idle accounting is
+        untouched: it is the authority and already correct per core.
+        """
+        port_stages = self._port_stages.get(port.ofport)
+        if port_stages is not None:
+            self._core_stages[src_core].subtract(port_stages)
+            port_stages.reset()
+        tee = self._port_tees.get(port.ofport)
+        if tee is not None:
+            tee.targets[0] = self._core_stages[dst_core]
 
     def port_by_name(self, port_name: str) -> OvsPort:
         for port in self.datapath.ports.values():
@@ -190,9 +238,32 @@ class VSwitchd:
     def step_dataplane(self) -> float:
         """Run one PMD iteration on every core; returns total cpu cost."""
         return sum(
-            self.datapath.process_ports(core_ports, stages=stages)
-            for core_ports, stages
-            in zip(self._core_ports, self._core_stages)
+            self._core_iteration(core_index)
+            for core_index in range(self.n_pmd_cores)
+        )
+
+    def _core_iteration(self, core_index: int) -> float:
+        """One PMD iteration for ``core_index``.
+
+        Looks the port list up through the scheduler-owned list object
+        (moves are live), tees per-port stage costs into the core table
+        *and* the port's own table, and feeds measured per-port cost
+        into the scheduler's load tracker.
+        """
+        tracker = self.scheduler.tracker
+        port_tees = self._port_tees
+
+        def stages_for(port):
+            return port_tees.get(port.ofport)
+
+        def on_port_cost(port, cost, packets):
+            tracker.record(port.ofport, core_index, cost, packets)
+
+        return self.datapath.process_ports(
+            self._core_ports[core_index],
+            stages=self._core_stages[core_index],
+            stages_for=stages_for,
+            on_port_cost=on_port_cost,
         )
 
     def step_control(self) -> int:
@@ -212,26 +283,22 @@ class VSwitchd:
             raise RuntimeError("vswitchd already running")
         self._running = True
         for core_index in range(self.n_pmd_cores):
-            core_ports = self._core_ports[core_index]
             loop = PollLoop(
                 self.env,
                 "%s.pmd%d" % (self.name, core_index),
-                self._make_pmd_iteration(
-                    core_ports, self._core_stages[core_index]
-                ),
+                self._make_pmd_iteration(core_index),
                 costs=self.costs,
             ).start()
             self._pmd_loops.append(loop)
         self._control_loop = self.env.process(
             self._control_process(), name="%s.control" % self.name
         )
+        if self.auto_lb is not None:
+            self.auto_lb.start(self.env)
 
-    def _make_pmd_iteration(self, core_ports: List[OvsPort],
-                            stages: StageAccounting):
-        datapath = self.datapath
-
+    def _make_pmd_iteration(self, core_index: int):
         def iteration() -> float:
-            return datapath.process_ports(core_ports, stages=stages)
+            return self._core_iteration(core_index)
 
         return iteration
 
@@ -247,9 +314,47 @@ class VSwitchd:
 
     def stop(self) -> None:
         self._running = False
+        if self.auto_lb is not None:
+            self.auto_lb.stop()
         for loop in self._pmd_loops:
             loop.stop()
         self._pmd_loops = []
+
+    # -- rxq scheduling (pmd-rxq-assign / pmd-auto-lb) -------------------------
+
+    def set_rxq_assign(self, policy: str) -> None:
+        """Switch the assignment policy (``pmd-rxq-assign=...``)."""
+        self.scheduler.set_policy(policy)
+
+    def pin_port(self, port_name: str, core: int) -> None:
+        """Pin a port to a core (``pmd-rxq-affinity`` analog); honored
+        by the ``group`` policy."""
+        self.scheduler.pin(self.port_by_name(port_name).ofport, core)
+
+    def unpin_port(self, port_name: str) -> None:
+        self.scheduler.unpin(self.port_by_name(port_name).ofport)
+
+    def isolate_core(self, core: int, isolated: bool = True) -> None:
+        """Exclude a core from non-pinned assignment (``group`` only)."""
+        self.scheduler.isolate(core, isolated)
+
+    def sample_core_busy(self) -> List[float]:
+        """Per-core busy fractions since the previous sample.
+
+        Empty when the PMD loops are not running (synchronous tests) so
+        callers can fall back to tracker-attributed load.
+        """
+        fractions: List[float] = []
+        for loop in self._pmd_loops:
+            busy, idle = loop.sample_activity()
+            total = busy + idle
+            fractions.append(busy / total if total > 0.0 else 0.0)
+        return fractions
+
+    def rebalance(self) -> RebalancePlan:
+        """Close the load interval and rebalance now (manual trigger)."""
+        self.scheduler.tracker.roll()
+        return self.scheduler.rebalance()
 
     # -- introspection ------------------------------------------------------------------
 
@@ -262,6 +367,11 @@ class VSwitchd:
         for loop in self._pmd_loops:
             loop.reset_accounting()
         for stages in self._core_stages:
+            stages.reset()
+        # Port tables must reset with the core tables: a stale port
+        # table would over-subtract from the freshly-zeroed core table
+        # at the next move or del_port.
+        for stages in self._port_stages.values():
             stages.reset()
 
     def pmd_cycle_report(self) -> PmdCycleReport:
