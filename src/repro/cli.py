@@ -85,6 +85,24 @@ def _sched_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _overload_kwargs(args: argparse.Namespace) -> dict:
+    """ChainExperiment overload kwargs from the --fail-mode/--overload
+    flags (absent flags leave the experiment defaults untouched)."""
+    kwargs = {}
+    if getattr(args, "fail_mode", None) is not None:
+        kwargs["fail_mode"] = args.fail_mode
+    if getattr(args, "unbounded_upcalls", False):
+        kwargs["bounded_upcalls"] = False
+    if getattr(args, "overload_control", False):
+        kwargs["overload"] = True
+    if getattr(args, "upcall_max_queue", None) is not None:
+        from repro.overload import UpcallPolicy
+
+        kwargs["upcall_policy"] = UpcallPolicy(
+            max_queue=args.upcall_max_queue)
+    return kwargs
+
+
 def cmd_fig3(args: argparse.Namespace, memory_only: bool) -> int:
     rows = []
     last_experiment = None
@@ -99,7 +117,8 @@ def cmd_fig3(args: argparse.Namespace, memory_only: bool) -> int:
                 frame_size=args.frame_size,
                 trace_sample=args.trace_sample,
                 snapshot_period=args.snapshot_period,
-                **_sched_kwargs(args)
+                **_sched_kwargs(args),
+                **_overload_kwargs(args)
             )
             result = experiment.run()
             line.append(round(result.throughput_mpps, 3))
@@ -125,7 +144,8 @@ def cmd_latency(args: argparse.Namespace) -> int:
             source_rate_pps=args.rate,
             trace_sample=args.trace_sample,
             snapshot_period=args.snapshot_period,
-            **_sched_kwargs(args)
+            **_sched_kwargs(args),
+            **_overload_kwargs(args)
         )
         ours = experiment.run()
         last_experiment = experiment
@@ -231,6 +251,19 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="FRACTION",
                        help="variance improvement required to apply a "
                             "rebalance")
+        p.add_argument("--fail-mode", default=None,
+                       choices=("standalone", "secure"),
+                       help="controller fail mode "
+                            "(default: standalone)")
+        p.add_argument("--unbounded-upcalls", action="store_true",
+                       help="use the legacy inline upcall path instead "
+                            "of the bounded queue")
+        p.add_argument("--upcall-max-queue", type=int, default=None,
+                       metavar="N",
+                       help="bounded upcall queue depth (default: 256)")
+        p.add_argument("--overload-control", action="store_true",
+                       help="enable the RX overload monitor "
+                            "(qlen-driven early drop)")
 
     p3a = sub.add_parser("fig3a", help="Figure 3(a): memory-only chains")
     common(p3a, _parse_range("2:8"))

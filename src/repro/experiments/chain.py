@@ -101,6 +101,11 @@ class ChainExperiment:
         rxq_assign: str = "roundrobin",
         auto_lb: bool = False,
         auto_lb_policy=None,
+        bounded_upcalls: bool = True,
+        upcall_policy=None,
+        fail_mode: str = "standalone",
+        overload: bool = False,
+        overload_policy=None,
     ) -> None:
         min_vms = 2 if memory_only else 1
         if num_vms < min_vms:
@@ -128,6 +133,11 @@ class ChainExperiment:
         self.rxq_assign = rxq_assign
         self.auto_lb = auto_lb
         self.auto_lb_policy = auto_lb_policy
+        self.bounded_upcalls = bounded_upcalls
+        self.upcall_policy = upcall_policy
+        self.fail_mode = fail_mode
+        self.overload = overload
+        self.overload_policy = overload_policy
         self.env: Optional[Environment] = None
         self.node: Optional[NfvNode] = None
         self.apps: List = []
@@ -156,6 +166,11 @@ class ChainExperiment:
             rxq_assign=self.rxq_assign,
             auto_lb=self.auto_lb,
             auto_lb_policy=self.auto_lb_policy,
+            bounded_upcalls=self.bounded_upcalls,
+            upcall_policy=self.upcall_policy,
+            fail_mode=self.fail_mode,
+            overload=self.overload,
+            overload_policy=self.overload_policy,
         )
         datapath = self.node.switch.datapath
         datapath.burst_size = self.burst_size

@@ -27,6 +27,8 @@ point                     where it fires
 ``memzone.reserve``       bypass memzone allocation
 ``pmd.rx_poll``           guest PMD receive poll (consumer freeze/stall)
 ``ring.corrupt``          shared-ring slot/generation corruption on enqueue
+``controller.conn``       OpenFlow channel send (either direction)
+``controller.reconnect``  fail-mode manager reconnect attempt
 ========================  ====================================================
 
 Mode semantics at a point:
@@ -61,6 +63,8 @@ SERIAL_TO_HOST = "serial.to_host"
 MEMZONE_RESERVE = "memzone.reserve"
 PMD_RX_POLL = "pmd.rx_poll"
 RING_CORRUPT = "ring.corrupt"
+CONTROLLER_CONN = "controller.conn"
+CONTROLLER_RECONNECT = "controller.reconnect"
 
 KNOWN_POINTS = (
     AGENT_RPC_SEND,
@@ -72,6 +76,8 @@ KNOWN_POINTS = (
     MEMZONE_RESERVE,
     PMD_RX_POLL,
     RING_CORRUPT,
+    CONTROLLER_CONN,
+    CONTROLLER_RECONNECT,
 )
 
 

@@ -8,6 +8,7 @@ from repro.metrics.timeline import (
     EventTimeline,
     TimelineEvent,
     attach_highway_tracing,
+    attach_overload_tracing,
 )
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "ResilienceCounters",
     "TimelineEvent",
     "attach_highway_tracing",
+    "attach_overload_tracing",
     "format_series",
     "format_table",
     "mpps",

@@ -70,11 +70,26 @@ class Observability:
         self.registry.register_object(
             "repro_datapath", datapath,
             ("packets_processed", "emc_hits", "smc_hits",
-             "classifier_hits", "miss_upcalls", "pipeline_drops",
-             "packets_mirrored", "flow_batches", "packets_batched"),
+             "classifier_hits", "pipeline_drops", "action_drops",
+             "unknown_port_drops", "packets_mirrored", "flow_batches",
+             "packets_batched"),
             labels={"switch": name},
             help="vSwitch fast-path lookup and forwarding counters",
         )
+
+        def collect_upcalls() -> Iterable[Sample]:
+            # miss_upcalls lived in the register_object tuple above
+            # until the reason split; exported per-reason now.
+            for reason, value in (("no_match", datapath.upcalls_no_match),
+                                  ("action", datapath.upcalls_action)):
+                yield Sample(
+                    "repro_datapath_miss_upcalls_total",
+                    {"switch": name, "reason": reason},
+                    float(value), "counter",
+                    "upcalls raised by the fast path, by reason",
+                )
+
+        self.registry.register_collector(collect_upcalls)
         self.registry.register_object(
             "repro_emc", datapath.emc,
             ("hits", "misses", "stale_hits", "insertions",
@@ -113,6 +128,154 @@ class Observability:
         scheduler = getattr(switch, "scheduler", None)
         if scheduler is not None:
             self._register_sched(switch, scheduler, name)
+        self._register_overload(switch, name)
+
+    def _register_overload(self, switch, name: str) -> None:
+        """Overload-control, policer and controller-channel metrics."""
+        labels = {"switch": name}
+        datapath = switch.datapath
+        coverage = self.registry.coverage
+        queue = getattr(switch, "upcall_queue", None)
+        failmode = getattr(switch, "failmode", None)
+        monitor = getattr(switch, "overload", None)
+        for hooked in (queue, failmode, monitor):
+            if hooked is not None:
+                hooked.coverage = coverage
+
+        def collect_policers() -> Iterable[Sample]:
+            # Policers are created/removed at runtime; discovered lazily.
+            for ofport in sorted(datapath.policers):
+                policer = datapath.policers[ofport]
+                port_labels = dict(labels)
+                port_labels["ofport"] = str(ofport)
+                yield Sample("repro_policer_admitted_total", port_labels,
+                             float(policer.admitted), "counter",
+                             "packets admitted by the ingress policer")
+                yield Sample("repro_policer_dropped_total", port_labels,
+                             float(policer.dropped), "counter",
+                             "packets dropped by the ingress policer")
+                yield Sample("repro_policer_rate_pps", port_labels,
+                             float(policer.rate_pps), "gauge",
+                             "configured policing rate")
+                yield Sample("repro_policer_tokens", port_labels,
+                             float(policer.bucket.tokens), "gauge",
+                             "tokens currently in the policing bucket")
+
+        self.registry.register_collector(collect_policers)
+
+        def collect_overload() -> Iterable[Sample]:
+            if queue is not None:
+                yield Sample("repro_overload_upcall_depth", dict(labels),
+                             float(queue.depth), "gauge",
+                             "upcalls currently queued")
+                yield Sample("repro_overload_upcall_high_watermark",
+                             dict(labels),
+                             float(queue.high_watermark), "gauge",
+                             "deepest the upcall queue has been")
+                yield Sample("repro_overload_upcall_dispatched_total",
+                             dict(labels),
+                             float(queue.dispatched), "counter",
+                             "upcalls served by the slow path")
+                for klass, value in (
+                        ("miss", queue.admitted_miss),
+                        ("control", queue.admitted_control)):
+                    class_labels = dict(labels)
+                    class_labels["class"] = klass
+                    yield Sample(
+                        "repro_overload_upcall_admitted_total",
+                        class_labels, float(value), "counter",
+                        "upcalls admitted into the bounded queue",
+                    )
+                for why, value in sorted(queue.shed.items()):
+                    shed_labels = dict(labels)
+                    shed_labels["reason"] = why
+                    yield Sample(
+                        "repro_overload_upcall_shed_total", shed_labels,
+                        float(value), "counter",
+                        "upcalls shed at admission, by reason",
+                    )
+            for ofport, level in sorted(datapath.rx_shed.items()):
+                port_labels = dict(labels)
+                port_labels["ofport"] = str(ofport)
+                yield Sample("repro_overload_rx_shed_level", port_labels,
+                             level, "gauge",
+                             "active RX shed fraction for one port")
+            for ofport, drops in sorted(datapath.rx_early_drops.items()):
+                port_labels = dict(labels)
+                port_labels["ofport"] = str(ofport)
+                yield Sample("repro_overload_rx_early_drops_total",
+                             port_labels, float(drops), "counter",
+                             "packets shed at RX before classification")
+            if failmode is not None:
+                mode_labels = dict(labels)
+                mode_labels["mode"] = failmode.mode.value
+                yield Sample("repro_overload_failmode_connected",
+                             mode_labels,
+                             1.0 if failmode.state == "connected" else 0.0,
+                             "gauge", "controller connectivity as seen "
+                             "by the fail-mode manager")
+                for counter in ("outages", "reconnect_attempts",
+                                "reconnect_failures", "reconnects",
+                                "packet_ins_buffered",
+                                "packet_ins_replayed", "packet_ins_shed",
+                                "fallback_flows_removed",
+                                "frozen_expiry_skips"):
+                    yield Sample(
+                        "repro_overload_failmode_%s_total" % counter,
+                        dict(labels),
+                        float(getattr(failmode, counter)), "counter",
+                        "fail-mode manager lifecycle counters",
+                    )
+                yield Sample("repro_overload_failmode_pending_packet_ins",
+                             dict(labels),
+                             float(failmode.pending_packet_ins), "gauge",
+                             "packet-ins buffered for replay (secure)")
+                fallback = failmode.fallback
+                for counter in ("packets_forwarded", "floods",
+                                "flows_installed"):
+                    yield Sample(
+                        "repro_overload_fallback_%s_total" % counter,
+                        dict(labels),
+                        float(getattr(fallback, counter)), "counter",
+                        "standalone learning-fallback activity",
+                    )
+            if monitor is not None:
+                for counter in ("checks_run", "overloaded_checks",
+                                "shed_increases", "shed_decreases",
+                                "deferred_to_rebalance"):
+                    yield Sample(
+                        "repro_overload_monitor_%s_total" % counter,
+                        dict(labels),
+                        float(getattr(monitor, counter)), "counter",
+                        "overload monitor decisions",
+                    )
+            connection = getattr(switch.bridge, "connection", None)
+            if connection is not None:
+                yield Sample("repro_controller_pending_for_switch",
+                             dict(labels),
+                             float(connection.pending_for_switch),
+                             "gauge", "messages queued toward the switch")
+                yield Sample("repro_controller_pending_for_controller",
+                             dict(labels),
+                             float(connection.pending_for_controller),
+                             "gauge",
+                             "messages queued toward the controller")
+                yield Sample("repro_controller_connected", dict(labels),
+                             1.0 if connection.connected else 0.0,
+                             "gauge", "OpenFlow channel is up")
+                for counter in ("dropped_to_switch",
+                                "dropped_to_controller",
+                                "dropped_disconnected",
+                                "faults_dropped"):
+                    yield Sample(
+                        "repro_controller_%s_total" % counter,
+                        dict(labels),
+                        float(getattr(connection, counter)), "counter",
+                        "OpenFlow channel drops (bounded queues, "
+                        "outages, injected faults)",
+                    )
+
+        self.registry.register_collector(collect_overload)
 
     def _register_sched(self, switch, scheduler, name: str) -> None:
         """rxq scheduler + auto-LB metrics and coverage for one switch."""
@@ -176,6 +339,12 @@ class Observability:
                     float(getattr(auto_lb, "skipped_" + reason)),
                     "counter", "auto-LB checks skipped by reason",
                 )
+            yield Sample(
+                "repro_sched_autolb_overload_overrides_total",
+                dict(labels), float(auto_lb.overload_overrides),
+                "counter",
+                "no-overload skips overridden by active RX shedding",
+            )
             plan = scheduler.last_plan
             if plan is not None:
                 yield Sample(

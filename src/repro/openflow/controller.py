@@ -10,6 +10,7 @@ property).
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence
 
+from repro.faults import CONTROLLER_CONN, FaultMode
 from repro.openflow import wire
 from repro.openflow.actions import Action
 from repro.openflow.match import Match
@@ -38,14 +39,35 @@ class ControllerConnection:
     With ``encode_on_wire`` (default) every message is serialized to
     OF1.3 bytes and re-parsed on delivery; disable only in micro-
     benchmarks where codec cost would dominate.
+
+    Both direction queues are bounded (``max_pending``): a dead peer
+    cannot leak memory — the newest message is dropped and counted
+    instead.  The channel also models connectivity: ``disconnect()``
+    (or an injected ``controller.conn`` ERROR/CRASH fault) marks it
+    down, sends while down are dropped and counted, and ``reconnect()``
+    restores it — but only while ``peer_available`` is True, which is
+    how outage scenarios keep the controller unreachable for a window.
     """
 
-    def __init__(self, encode_on_wire: bool = True) -> None:
+    def __init__(self, encode_on_wire: bool = True,
+                 max_pending: int = 4096, faults=None) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         self.encode_on_wire = encode_on_wire
+        self.max_pending = max_pending
+        self.faults = faults
+        self.connected = True
+        self.peer_available = True
         self._to_switch: Deque[OpenFlowMessage] = deque()
         self._to_controller: Deque[OpenFlowMessage] = deque()
         self.bytes_to_switch = 0
         self.bytes_to_controller = 0
+        self.dropped_to_switch = 0
+        self.dropped_to_controller = 0
+        self.dropped_disconnected = 0
+        self.faults_dropped = 0
+        self.disconnects = 0
+        self.reconnects = 0
 
     def _transfer(self, message: OpenFlowMessage) -> "tuple[OpenFlowMessage, int]":
         if not self.encode_on_wire:
@@ -53,11 +75,50 @@ class ControllerConnection:
         frame = wire.encode(message)
         return wire.decode(frame), len(frame)
 
+    # -- connectivity ------------------------------------------------------
+
+    def disconnect(self) -> None:
+        """Drop the channel (controller crash / TCP reset)."""
+        if self.connected:
+            self.connected = False
+            self.disconnects += 1
+
+    def reconnect(self) -> bool:
+        """Attempt to re-establish; fails while the peer is unreachable."""
+        if self.connected:
+            return True
+        if not self.peer_available:
+            return False
+        self.connected = True
+        self.reconnects += 1
+        return True
+
+    def _gate(self) -> bool:
+        """Common send-side gating: connectivity + injected faults.
+        Returns True if the message may proceed."""
+        if not self.connected:
+            self.dropped_disconnected += 1
+            return False
+        if self.faults is not None and self.faults.has_specs(
+                CONTROLLER_CONN):
+            action = self.faults.fire(CONTROLLER_CONN)
+            if action is not None:
+                if action.mode in (FaultMode.ERROR, FaultMode.CRASH):
+                    self.disconnect()
+                self.faults_dropped += 1
+                return False
+        return True
+
     # -- controller side ---------------------------------------------------
 
     def controller_send(self, message: OpenFlowMessage) -> None:
+        if not self._gate():
+            return
         delivered, size = self._transfer(message)
         self.bytes_to_switch += size
+        if len(self._to_switch) >= self.max_pending:
+            self.dropped_to_switch += 1
+            return
         self._to_switch.append(delivered)
 
     def controller_recv(self) -> Optional[OpenFlowMessage]:
@@ -68,8 +129,13 @@ class ControllerConnection:
     # -- switch side ----------------------------------------------------------
 
     def switch_send(self, message: OpenFlowMessage) -> None:
+        if not self._gate():
+            return
         delivered, size = self._transfer(message)
         self.bytes_to_controller += size
+        if len(self._to_controller) >= self.max_pending:
+            self.dropped_to_controller += 1
+            return
         self._to_controller.append(delivered)
 
     def switch_recv(self) -> Optional[OpenFlowMessage]:
@@ -84,6 +150,11 @@ class ControllerConnection:
     @property
     def pending_for_controller(self) -> int:
         return len(self._to_controller)
+
+    @property
+    def dropped_total(self) -> int:
+        return (self.dropped_to_switch + self.dropped_to_controller
+                + self.dropped_disconnected + self.faults_dropped)
 
 
 class SimpleController:

@@ -67,6 +67,12 @@ class NfvNode:
         rxq_assign: str = "roundrobin",
         auto_lb: bool = False,
         auto_lb_policy: Optional["AutoLbPolicy"] = None,
+        bounded_upcalls: bool = True,
+        upcall_policy=None,
+        fail_mode: str = "standalone",
+        failmode_policy=None,
+        overload: bool = False,
+        overload_policy=None,
     ) -> None:
         self.env = env
         self.costs = costs
@@ -76,7 +82,7 @@ class NfvNode:
         self.obs = obs if obs is not None else Observability(
             clock=clock, trace_sample_interval=trace_sample_interval,
         )
-        self.connection = ControllerConnection()
+        self.connection = ControllerConnection(faults=faults)
         self.switch = VSwitchd(
             env=env,
             registry=self.registry,
@@ -87,7 +93,15 @@ class NfvNode:
             auto_lb=auto_lb,
             auto_lb_policy=(auto_lb_policy if auto_lb_policy is not None
                             else DEFAULT_AUTO_LB_POLICY),
+            bounded_upcalls=bounded_upcalls,
+            upcall_policy=upcall_policy,
+            fail_mode=fail_mode,
+            failmode_policy=failmode_policy,
+            overload=overload,
+            overload_policy=overload_policy,
         )
+        if self.switch.failmode is not None:
+            self.switch.failmode.faults = faults
         self.controller = SimpleController(self.connection)
         self.hypervisor = Hypervisor(self.registry, env=env, costs=costs,
                                      faults=faults)
@@ -166,6 +180,9 @@ class NfvNode:
         self.registry.faults = plan
         self.hypervisor.faults = plan
         self.agent.faults = plan
+        self.connection.faults = plan
+        if self.switch.failmode is not None:
+            self.switch.failmode.faults = plan
         if self.manager is not None:
             self.manager.faults = plan
             for bypass_link in self.manager.active_links.values():

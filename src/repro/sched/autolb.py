@@ -67,6 +67,11 @@ class AutoLoadBalancer:
         self.skipped_no_overload = 0
         self.skipped_no_moves = 0
         self.skipped_small_improvement = 0
+        # Set by VSwitchd when an OverloadMonitor runs alongside: active
+        # RX shedding masks the busy signal (dropped packets cost no
+        # cycles), so the no-overload skip must not trust it.
+        self.overload_monitor = None
+        self.overload_overrides = 0
         self.last_busy_fractions: List[float] = []
         # Fired with the applied plan (after scheduler.on_apply hooks).
         self.on_rebalance: List[Callable[[RebalancePlan], None]] = []
@@ -102,8 +107,12 @@ class AutoLoadBalancer:
         busy = self._busy_fractions()
         self.last_busy_fractions = busy
         if not any(b >= self.policy.load_threshold for b in busy):
-            self.skipped_no_overload += 1
-            return 0.0
+            if (self.overload_monitor is not None
+                    and self.overload_monitor.shedding_active):
+                self.overload_overrides += 1
+            else:
+                self.skipped_no_overload += 1
+                return 0.0
         plan = self.scheduler.plan_rebalance()
         if not plan.moves:
             self.skipped_no_moves += 1

@@ -36,6 +36,11 @@ class CostModel:
     ovs_action_per_packet: float = 45 * NS   # both paths, per packet
     ovs_scalar_dispatch: float = 50 * NS     # scalar path, per packet
     ovs_batch_action: float = 40 * NS        # batched path, per batch
+    # Bounded upcall path: the fast-path side of a miss is an enqueue
+    # (or an accounted shed) instead of the full 50 us slow path, which
+    # is charged per dispatched upcall at the end of the iteration.
+    upcall_enqueue: float = 300 * NS
+    upcall_shed: float = 120 * NS
 
     # --- rings / memory, per packet ---------------------------------------
     ring_op: float = 18 * NS          # enqueue or dequeue, burst-amortized
@@ -73,6 +78,8 @@ class CostModel:
             ovs_action_per_packet=self.ovs_action_per_packet * factor,
             ovs_scalar_dispatch=self.ovs_scalar_dispatch * factor,
             ovs_batch_action=self.ovs_batch_action * factor,
+            upcall_enqueue=self.upcall_enqueue * factor,
+            upcall_shed=self.upcall_shed * factor,
             ring_op=self.ring_op * factor,
             vm_forward=self.vm_forward * factor,
             bypass_stats_update=self.bypass_stats_update * factor,

@@ -409,6 +409,130 @@ def sched_show(vswitchd: VSwitchd) -> str:
     return "\n".join(lines)
 
 
+def policer_show(vswitchd: VSwitchd) -> str:
+    """``appctl policer/show``: ingress policer state per port."""
+    policers = vswitchd.datapath.policers
+    if not policers:
+        return "policers: none configured"
+    lines = ["policers: %d" % len(policers)]
+    for ofport in sorted(policers):
+        policer = policers[ofport]
+        lines.append(
+            " port %d: rate=%.0fpps burst=%.0f tokens=%.1f "
+            "admitted=%d dropped=%d"
+            % (ofport, policer.rate_pps, policer.bucket.burst,
+               policer.bucket.tokens, policer.admitted, policer.dropped))
+    return "\n".join(lines)
+
+
+def overload_show(vswitchd: VSwitchd) -> str:
+    """``appctl overload/show``: upcall queue, fail mode, shedding."""
+    lines: List[str] = []
+    queue = vswitchd.upcall_queue
+    if queue is None:
+        lines.append("upcall queue: unbounded (legacy inline path)")
+    else:
+        policy = queue.policy
+        lines.append(
+            "upcall queue: depth=%d/%d (control=%d, reserve=%d) "
+            "high_watermark=%d"
+            % (queue.depth, policy.max_queue, queue.control_depth,
+               policy.control_reserve, queue.high_watermark))
+        lines.append(
+            " policy: port_quota=%d port_rate_pps=%g port_burst=%g "
+            "dispatch_batch=%d"
+            % (policy.port_quota, policy.port_rate_pps,
+               policy.port_burst, policy.dispatch_batch))
+        lines.append(
+            " admitted: miss=%d control=%d  dispatched=%d"
+            % (queue.admitted_miss, queue.admitted_control,
+               queue.dispatched))
+        shed = ", ".join("%s=%d" % (why, queue.shed[why])
+                         for why in sorted(queue.shed))
+        lines.append(" shed: total=%d%s"
+                     % (queue.shed_total,
+                        (" (%s)" % shed) if shed else ""))
+    failmode = vswitchd.failmode
+    if failmode is None:
+        lines.append("fail mode: no controller connection")
+    else:
+        stats = failmode.stats()
+        lines.append(
+            "fail mode: %s, state=%s, outages=%d reconnects=%d "
+            "(attempts=%d failures=%d)"
+            % (stats["mode"], stats["state"], stats["outages"],
+               stats["reconnects"], stats["reconnect_attempts"],
+               stats["reconnect_failures"]))
+        lines.append(
+            " packet-ins: pending=%d buffered=%d replayed=%d shed=%d"
+            % (stats["pending_packet_ins"], stats["packet_ins_buffered"],
+               stats["packet_ins_replayed"], stats["packet_ins_shed"]))
+        lines.append(
+            " fallback: packets=%d floods=%d flows=%d removed=%d"
+            % (stats["fallback_packets"], stats["fallback_floods"],
+               stats["fallback_flows"], stats["fallback_flows_removed"]))
+    monitor = vswitchd.overload
+    if monitor is None:
+        lines.append("overload monitor: disabled")
+    else:
+        stats = monitor.stats()
+        lines.append(
+            "overload monitor: checks=%d overloaded=%d raised=%d "
+            "lowered=%d deferred_to_rebalance=%d"
+            % (stats["checks_run"], stats["overloaded_checks"],
+               stats["shed_increases"], stats["shed_decreases"],
+               stats["deferred_to_rebalance"]))
+    rx_shed = vswitchd.datapath.rx_shed
+    if rx_shed:
+        lines.append(" rx shed levels: %s" % ", ".join(
+            "port %d=%.2f" % (ofport, rx_shed[ofport])
+            for ofport in sorted(rx_shed)))
+    drops = vswitchd.datapath.rx_early_drops
+    if drops:
+        lines.append(" rx early drops: %s" % ", ".join(
+            "port %d=%d" % (ofport, drops[ofport])
+            for ofport in sorted(drops)))
+    return "\n".join(lines)
+
+
+def overload_set(vswitchd: VSwitchd, argument: str) -> str:
+    """``appctl overload/set KEY VALUE``: tune overload knobs live.
+
+    ``fail_mode standalone|secure`` switches the fail mode; any numeric
+    field of the active :class:`~repro.overload.UpcallPolicy` or
+    :class:`~repro.overload.OverloadPolicy` can be set by name.
+    """
+    parts = argument.split()
+    if len(parts) != 2:
+        return "usage: overload/set KEY VALUE"
+    key, raw = parts
+    if key == "fail_mode":
+        try:
+            vswitchd.set_fail_mode(raw)
+        except (ValueError, RuntimeError) as exc:
+            return "error: %s" % exc
+        return "fail_mode=%s" % raw
+    targets = []
+    if vswitchd.upcall_queue is not None:
+        targets.append(vswitchd.upcall_queue.policy)
+    if vswitchd.overload is not None:
+        targets.append(vswitchd.overload.policy)
+    for policy in targets:
+        if hasattr(policy, key):
+            current = getattr(policy, key)
+            try:
+                value = type(current)(raw)
+            except ValueError:
+                return "error: %r is not a valid %s" % (
+                    raw, type(current).__name__)
+            setattr(policy, key, value)
+            return "%s=%s" % (key, value)
+    known = sorted(
+        {name for policy in targets for name in vars(policy)} | {"fail_mode"}
+    )
+    return "unknown knob %r (try: %s)" % (key, ", ".join(known))
+
+
 def pmd_stats_show(vswitchd: VSwitchd, obs=None) -> str:
     """``appctl pmd/stats-show``: busy/idle cycles + per-stage breakdown.
 
@@ -473,6 +597,9 @@ class AppCtl:
             ),
             "sched/show": lambda: sched_show(self.vswitchd),
             "sched/rebalance": lambda: str(self.vswitchd.rebalance()),
+            "policer/show": lambda: policer_show(self.vswitchd),
+            "overload/show": lambda: overload_show(self.vswitchd),
+            "overload/set": lambda: overload_set(self.vswitchd, argument),
             "coverage/show": lambda: coverage_show(self.obs),
             "metrics/dump": lambda: metrics_dump(self.obs),
             "trace/dump": lambda: trace_dump(

@@ -87,13 +87,27 @@ class Datapath:
         self.ports: Dict[int, OvsPort] = {}
         self.mirrors: List = []  # repro.vswitch.mirror.Mirror
         self.policers: Dict[int, object] = {}  # ofport -> IngressPolicer
+        # Bounded upcall path (repro.overload.upcall.BoundedUpcallQueue).
+        # None = legacy inline upcalls: the handler runs synchronously at
+        # the miss, with the full slow-path cost charged there.  With a
+        # queue installed, misses are admitted (or shed, accounted) and
+        # dispatched at the end of the poll iteration.
+        self.upcall_queue = None
+        # Per-port RX shed levels (fraction of each burst dropped before
+        # classification), maintained by the overload monitor.
+        self.rx_shed: Dict[int, float] = {}
+        self.rx_early_drops: Dict[int, int] = {}
+        self._shed_debt: Dict[int, float] = {}
         # Cumulative fast-path statistics (all count packets, so the
         # scalar and vectorized paths stay comparable; smc_hits is the
         # subset of classifier_hits resolved through a validated hint).
         self.emc_hits = 0
         self.smc_hits = 0
         self.classifier_hits = 0
-        self.miss_upcalls = 0
+        self.upcalls_no_match = 0
+        self.upcalls_action = 0
+        self.action_drops = 0
+        self.unknown_port_drops = 0
         self.packets_processed = 0
         self.packets_mirrored = 0
         # Flow-batch statistics (vectorized path only).
@@ -152,6 +166,54 @@ class Datapath:
         if not self.flow_batches:
             return 0.0
         return self.packets_batched / self.flow_batches
+
+    @property
+    def miss_upcalls(self) -> int:
+        """Total upcalls, both reasons (kept for compatibility; the
+        metrics plane exports the per-reason split)."""
+        return self.upcalls_no_match + self.upcalls_action
+
+    # -- the upcall path ------------------------------------------------------
+
+    def _punt(self, mbuf: Mbuf, in_port: int, reason: str,
+              stages=None) -> float:
+        """Hand one packet to the slow path; returns the fast-path cost.
+
+        Legacy mode (no queue): the handler runs inline — its cost was
+        already charged at the lookup miss, so this contributes nothing.
+        Queue mode: the packet is admitted (enqueue cost) or shed
+        (accounted drop, shed cost); the slow-path cost proper is
+        charged at dispatch.
+        """
+        if self.upcall_queue is None:
+            if self.upcall_handler is not None:
+                self.upcall_handler(mbuf, in_port, reason)
+            else:
+                mbuf.free()
+            return 0.0
+        if self.upcall_queue.admit(mbuf, in_port, reason):
+            cost = self.costs.upcall_enqueue
+        else:
+            cost = self.costs.upcall_shed
+        if stages is not None:
+            stages.add("miss_upcall", cost, packets=1)
+        return cost
+
+    def _dispatch_upcalls(self, stages=None) -> float:
+        """Drain the bounded queue (end of the poll iteration), charging
+        the slow-path cost per upcall actually served."""
+        queue = self.upcall_queue
+        handler = self.upcall_handler
+        if handler is None:
+            def handler(mbuf, in_port, reason):
+                mbuf.free()
+        dispatched = queue.dispatch(handler)
+        if not dispatched:
+            return 0.0
+        cost = self.costs.ovs_miss_upcall * dispatched
+        if stages is not None:
+            stages.add("miss_upcall", cost, packets=dispatched)
+        return cost
 
     # -- lookup ------------------------------------------------------------------
 
@@ -241,13 +303,19 @@ class Datapath:
             cost += self.costs.ovs_classifier_hit
             if entry is None:
                 if table_id == 0:
-                    self.miss_upcalls += 1
-                    if stages is not None:
-                        stages.add("miss_upcall",
-                                   self.costs.ovs_miss_upcall, packets=1)
+                    self.upcalls_no_match += 1
                     if mbuf.trace is not None:
                         mbuf.trace.add(self.clock(), "upcall",
                                        reason="no_match")
+                    if self.upcall_queue is not None:
+                        # Bounded path: only the failed walk is charged
+                        # here; enqueue/dispatch costs land in _punt.
+                        if stages is not None:
+                            stages.add("miss_upcall", cost, packets=1)
+                        return None, cost
+                    if stages is not None:
+                        stages.add("miss_upcall",
+                                   self.costs.ovs_miss_upcall, packets=1)
                     return None, self.costs.ovs_miss_upcall
                 self.pipeline_drops += 1
                 break
@@ -292,11 +360,17 @@ class Datapath:
                 return traversal, costs.ovs_emc_hit
         traversal, cost, tier = self._walk_pipeline(key, fill)
         if traversal is None:
-            self.miss_upcalls += fill
+            self.upcalls_no_match += fill
+            self._trace_batch(batch, "upcall", reason="no_match")
+            if self.upcall_queue is not None:
+                # Bounded path: charge the failed walk; the enqueue and
+                # dispatch costs are itemized by _punt and dispatch.
+                if stages is not None:
+                    stages.add("miss_upcall", cost, packets=fill)
+                return None, cost
             upcall_cost = costs.ovs_miss_upcall * fill
             if stages is not None:
                 stages.add("miss_upcall", upcall_cost, packets=fill)
-            self._trace_batch(batch, "upcall", reason="no_match")
             # Like the scalar path, the upcall dominates: the failed
             # lookup's cost is folded into it rather than itemized.
             return None, upcall_cost
@@ -365,7 +439,10 @@ class Datapath:
                 self._apply_set_field(mbuf, action.field, action.value)
             elif isinstance(action, OutputAction):
                 if action.port == PORT_CONTROLLER:
-                    if self.upcall_handler is not None:
+                    self.upcalls_action += 1
+                    if self.upcall_queue is not None:
+                        self._punt(mbuf, in_port, "action")
+                    elif self.upcall_handler is not None:
                         self.upcall_handler(mbuf, in_port, "action")
                     consumed = True
                 elif action.port in self.ports:
@@ -374,8 +451,11 @@ class Datapath:
                     output_batches.setdefault(action.port, []).append(target)
                     consumed = True
                 else:
-                    pass  # output to unknown port: ignore (counted as drop)
+                    # Output to an unknown port: ignored, but accounted
+                    # so conservation checks can balance the books.
+                    self.unknown_port_drops += 1
         if not consumed:
+            self.action_drops += 1
             mbuf.free()  # empty action list = OpenFlow drop
 
     # -- the poll iteration body --------------------------------------------------------
@@ -397,9 +477,39 @@ class Datapath:
                     stages.add("housekeeping", self.costs.burst_overhead)
                 return self.costs.burst_overhead, 0
         costs = self.costs
+        shed_cost = 0.0
+        shed_level = self.rx_shed.get(port.ofport)
+        if shed_level:
+            # Overload early drop: shed the tail of the burst before it
+            # costs a single classifier cycle.  Fractional levels carry
+            # debt across bursts so the realized drop rate converges on
+            # the configured level deterministically.
+            debt = self._shed_debt.get(port.ofport, 0.0)
+            debt += len(mbufs) * shed_level
+            drop_count = min(int(debt), len(mbufs))
+            self._shed_debt[port.ofport] = debt - drop_count
+            if drop_count:
+                keep = len(mbufs) - drop_count
+                now = self.clock()
+                for mbuf in mbufs[keep:]:
+                    if mbuf.trace is not None:
+                        mbuf.trace.add(now, "rx-shed", port=port.name)
+                    mbuf.free()
+                mbufs = mbufs[:keep]
+                self.rx_early_drops[port.ofport] = (
+                    self.rx_early_drops.get(port.ofport, 0) + drop_count)
+                if self.coverage is not None:
+                    self.coverage("rx_early_drop", drop_count)
+                shed_cost = costs.upcall_shed * drop_count
+                if stages is not None:
+                    stages.add("rx_shed", shed_cost, packets=drop_count)
+                if not mbufs:
+                    if stages is not None:
+                        stages.add("housekeeping", costs.burst_overhead)
+                    return costs.burst_overhead + shed_cost, 0
         rx_cost = (costs.nic_pmd_rx if port.kind == PortKind.PHY
                    else costs.ring_op)
-        total_cost = costs.burst_overhead + rx_cost * len(mbufs)
+        total_cost = shed_cost + costs.burst_overhead + rx_cost * len(mbufs)
         now = self.clock()
         if stages is not None:
             stages.add("housekeeping", costs.burst_overhead)
@@ -441,10 +551,8 @@ class Datapath:
                                                    stages=stages)
             total_cost += lookup_cost
             if traversal is None:
-                if self.upcall_handler is not None:
-                    self.upcall_handler(mbuf, in_port, "no_match")
-                else:
-                    mbuf.free()
+                total_cost += self._punt(mbuf, in_port, "no_match",
+                                         stages=stages)
                 continue
             combined = []
             for entry in traversal:
@@ -490,12 +598,9 @@ class Datapath:
                                                          stages=stages)
             total_cost += lookup_cost
             if traversal is None:
-                if self.upcall_handler is not None:
-                    for mbuf in batch:
-                        self.upcall_handler(mbuf, in_port, "no_match")
-                else:
-                    for mbuf in batch:
-                        mbuf.free()
+                for mbuf in batch:
+                    total_cost += self._punt(mbuf, in_port, "no_match",
+                                             stages=stages)
                 continue
             byte_total = sum(mbuf.wire_length for mbuf in batch)
             combined = [
@@ -587,6 +692,8 @@ class Datapath:
                 on_port_cost(port, cost, count)
             total_cost += cost
         total_cost += self.flush_outputs(output_batches, stages=stages)
+        if self.upcall_queue is not None:
+            total_cost += self._dispatch_upcalls(stages=stages)
         return total_cost
 
     # -- direct injection (packet-out, test harnesses) ---------------------------------

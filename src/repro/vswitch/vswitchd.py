@@ -14,6 +14,14 @@ from repro.dpdk.dpdkr import DpdkrSharedRings
 from repro.mem.memzone import MemzoneRegistry
 from repro.obs.cycles import PmdCycleReport, StageAccounting, StageTee
 from repro.openflow.controller import ControllerConnection
+from repro.overload import (
+    BoundedUpcallQueue,
+    FailModeManager,
+    FailModePolicy,
+    OverloadMonitor,
+    OverloadPolicy,
+    UpcallPolicy,
+)
 from repro.sched.autolb import (
     AutoLbPolicy,
     AutoLoadBalancer,
@@ -43,6 +51,12 @@ class VSwitchd:
         rxq_assign: str = "roundrobin",
         auto_lb: bool = False,
         auto_lb_policy: AutoLbPolicy = DEFAULT_AUTO_LB_POLICY,
+        bounded_upcalls: bool = True,
+        upcall_policy: Optional[UpcallPolicy] = None,
+        fail_mode: str = "standalone",
+        failmode_policy: Optional[FailModePolicy] = None,
+        overload: bool = False,
+        overload_policy: Optional[OverloadPolicy] = None,
     ) -> None:
         if n_pmd_cores < 1:
             raise ValueError("need at least one PMD core")
@@ -57,6 +71,27 @@ class VSwitchd:
             name="br0", connection=connection, costs=costs, clock=clock
         )
         self.datapath = self.bridge.datapath
+        # Overload control: bounded upcalls + fail-mode routing.  The
+        # fail-mode manager interposes on the upcall handler (it passes
+        # through to bridge._upcall while the controller is reachable).
+        self.upcall_queue: Optional[BoundedUpcallQueue] = None
+        if bounded_upcalls or upcall_policy is not None:
+            self.upcall_queue = BoundedUpcallQueue(
+                upcall_policy, clock=clock or (lambda: 0.0)
+            )
+            self.datapath.upcall_queue = self.upcall_queue
+        self.failmode: Optional[FailModeManager] = None
+        if connection is not None:
+            self.failmode = FailModeManager(
+                self.bridge,
+                connection,
+                mode=fail_mode,
+                policy=failmode_policy,
+                clock=clock or (lambda: 0.0),
+            )
+            self.datapath.upcall_handler = self.failmode.handle_upcall
+        self._overload_requested = overload
+        self._overload_policy = overload_policy
         self._next_ofport = 1
         # The scheduler owns the core -> ports map; ``_core_ports``
         # aliases its lists (same objects — the PMD loops close over
@@ -78,6 +113,14 @@ class VSwitchd:
         self.auto_lb: Optional[AutoLoadBalancer] = (
             AutoLoadBalancer(self, auto_lb_policy) if auto_lb else None
         )
+        # The overload monitor needs the scheduler (rebalance grace) and
+        # cross-links with the auto-lb (shedding masks the busy signal).
+        self.overload: Optional[OverloadMonitor] = (
+            OverloadMonitor(self, self._overload_policy)
+            if self._overload_requested else None
+        )
+        if self.auto_lb is not None and self.overload is not None:
+            self.auto_lb.overload_monitor = self.overload
         self._pmd_loops: List[PollLoop] = []
         self._control_loop = None
         self._running = False
@@ -268,10 +311,21 @@ class VSwitchd:
 
     def step_control(self) -> int:
         """Process pending controller messages + flow expirations."""
-        handled = self.bridge.pump()
         now = self.env.now if self.env is not None else 0.0
-        self.bridge.expire_flows(now)
+        if self.failmode is not None:
+            self.failmode.tick(now)
+        handled = self.bridge.pump()
+        if self.failmode is not None and self.failmode.expiry_frozen:
+            self.failmode.frozen_expiry_skips += 1
+        else:
+            self.bridge.expire_flows(now)
         return handled
+
+    def set_fail_mode(self, mode: str) -> None:
+        """Switch the controller-loss behavior (``standalone|secure``)."""
+        if self.failmode is None:
+            raise RuntimeError("no controller connection: fail mode moot")
+        self.failmode.set_mode(mode)
 
     # -- simulation lifecycle --------------------------------------------------------
 
@@ -295,6 +349,8 @@ class VSwitchd:
         )
         if self.auto_lb is not None:
             self.auto_lb.start(self.env)
+        if self.overload is not None:
+            self.overload.start(self.env)
 
     def _make_pmd_iteration(self, core_index: int):
         def iteration() -> float:
@@ -305,8 +361,13 @@ class VSwitchd:
     def _control_process(self):
         env = self.env
         while self._running:
+            if self.failmode is not None:
+                self.failmode.tick(env.now)
             handled = self.bridge.pump()
-            self.bridge.expire_flows(env.now)
+            if self.failmode is not None and self.failmode.expiry_frozen:
+                self.failmode.frozen_expiry_skips += 1
+            else:
+                self.bridge.expire_flows(env.now)
             delay = self.control_interval
             if handled:
                 delay += handled * self.costs.flowmod_processing
@@ -316,6 +377,8 @@ class VSwitchd:
         self._running = False
         if self.auto_lb is not None:
             self.auto_lb.stop()
+        if self.overload is not None:
+            self.overload.stop()
         for loop in self._pmd_loops:
             loop.stop()
         self._pmd_loops = []

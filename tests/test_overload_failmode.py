@@ -1,0 +1,337 @@
+"""Controller fail-modes: standalone vs secure behavior and recovery.
+
+``standalone`` keeps the tenant's packets moving with a local learning
+switch (improvised state tagged by cookie, removed on recovery);
+``secure`` refuses to improvise — it preserves the controller's flow
+state through the outage and replays buffered packet-ins.  The seeded
+sweep at the bottom is what the CI fault-sweep matrix runs per seed.
+"""
+
+import os
+
+import pytest
+
+from repro.faults import (
+    CONTROLLER_CONN,
+    CONTROLLER_RECONNECT,
+    FaultPlan,
+)
+from repro.openflow.actions import OutputAction
+from repro.openflow.controller import ControllerConnection, SimpleController
+from repro.openflow.match import Match
+from repro.orchestration import NfvNode
+from repro.overload import FALLBACK_COOKIE, UpcallPolicy
+from repro.sim.engine import Environment
+from repro.traffic import SinkApp, SourceApp
+from repro.vswitch.vswitchd import VSwitchd
+
+from tests.helpers import drain, mk_mbuf
+
+
+def build_stack(mode="standalone", **kwargs):
+    connection = ControllerConnection()
+    switch = VSwitchd(connection=connection, fail_mode=mode, **kwargs)
+    controller = SimpleController(connection)
+    return switch, controller, connection
+
+
+def outage(connection):
+    connection.peer_available = False
+    connection.disconnect()
+
+
+MAC_A = "02:00:00:00:00:0a"
+MAC_B = "02:00:00:00:00:0b"
+
+
+class TestStandalone:
+    def test_learns_and_forwards_locally(self):
+        switch, _controller, connection = build_stack()
+        a = switch.add_dpdkr_port("dpdkr0")
+        b = switch.add_dpdkr_port("dpdkr1")
+        outage(connection)
+        # First packet: dst unknown, flooded to every other port.
+        first = mk_mbuf(src_mac=MAC_A, dst_mac=MAC_B)
+        a.rings.to_switch.enqueue(first)
+        switch.step_dataplane()
+        assert drain(b.rings.to_guest) == [first]
+        # Reply: A was learned, so this is forwarded (and a fallback
+        # flow installed), not flooded.
+        reply = mk_mbuf(src_mac=MAC_B, dst_mac=MAC_A)
+        b.rings.to_switch.enqueue(reply)
+        switch.step_dataplane()
+        assert drain(a.rings.to_guest) == [reply]
+        fallback = switch.failmode.fallback
+        assert fallback.floods == 1
+        assert fallback.packets_forwarded == 1
+        assert fallback.flows_installed == 1
+        cookies = [e.cookie for e in switch.bridge.table.entries()]
+        assert cookies == [FALLBACK_COOKIE]
+        # Once installed, the fallback flow handles the next packet on
+        # the fast path — no upcall at all.
+        misses = switch.datapath.upcalls_no_match
+        b.rings.to_switch.enqueue(mk_mbuf(src_mac=MAC_B, dst_mac=MAC_A))
+        switch.step_dataplane()
+        assert switch.datapath.upcalls_no_match == misses
+
+    def test_recovery_removes_only_fallback_flows(self):
+        switch, controller, connection = build_stack()
+        a = switch.add_dpdkr_port("dpdkr0")
+        b = switch.add_dpdkr_port("dpdkr1")
+        # A controller flow the outage traffic does not hit (so every
+        # data packet goes through the fallback's learning path).
+        controller.install_flow(Match(in_port=99),
+                                [OutputAction(b.ofport)])
+        switch.step_control()
+        assert len(switch.bridge.table.entries()) == 1
+        outage(connection)
+        # Learn both directions during the outage.
+        a.rings.to_switch.enqueue(mk_mbuf(src_mac=MAC_B, dst_mac=MAC_A))
+        switch.step_dataplane()
+        b.rings.to_switch.enqueue(mk_mbuf(src_mac=MAC_A, dst_mac=MAC_B))
+        switch.step_dataplane()
+        assert switch.failmode.fallback.flows_installed >= 1
+        assert len(switch.bridge.table.entries()) >= 2
+        # Recovery: improvised state gone, controller flow intact.
+        connection.peer_available = True
+        assert connection.reconnect()
+        switch.step_control()
+        assert switch.failmode.state == "connected"
+        remaining = switch.bridge.table.entries()
+        assert [e.cookie for e in remaining] == [0]
+        assert switch.failmode.fallback_flows_removed >= 1
+        # A new outage starts from a clean learning table entry map.
+        assert switch.failmode.fallback._installed == {}
+
+
+class TestSecure:
+    def test_buffers_packet_ins_bounded_and_replays(self):
+        from repro.overload import FailModePolicy
+
+        switch, controller, connection = build_stack(
+            mode="secure",
+            failmode_policy=FailModePolicy(max_pending_packet_ins=3),
+        )
+        a = switch.add_dpdkr_port("dpdkr0")
+        outage(connection)
+        mbufs = [mk_mbuf() for _ in range(5)]
+        for mbuf in mbufs:
+            a.rings.to_switch.enqueue(mbuf)
+        switch.step_dataplane()
+        failmode = switch.failmode
+        assert failmode.pending_packet_ins == 3
+        assert failmode.packet_ins_buffered == 3
+        assert failmode.packet_ins_shed == 2
+        assert all(m.refcnt == 0 for m in mbufs)
+        # No flows were improvised.
+        assert switch.bridge.table.entries() == []
+        # Reconnect: buffered packet-ins replayed to the controller.
+        connection.peer_available = True
+        connection.reconnect()
+        switch.step_control()
+        controller.poll()
+        assert len(controller.packet_ins) == 3
+        assert failmode.packet_ins_replayed == 3
+        assert failmode.pending_packet_ins == 0
+
+    def test_expiry_frozen_and_timers_shifted(self):
+        switch, controller, connection = build_stack(mode="secure")
+        a = switch.add_dpdkr_port("dpdkr0")
+        b = switch.add_dpdkr_port("dpdkr1")
+        controller.install_flow(Match(in_port=a.ofport, eth_type=0x0800),
+                                [OutputAction(b.ofport)],
+                                idle_timeout=1.0)
+        switch.step_control()
+        (entry,) = switch.bridge.table.entries()
+        # Seed the EMC through the installed flow.
+        a.rings.to_switch.enqueue(mk_mbuf())
+        switch.step_dataplane()
+        emc_entries = len(switch.datapath.emc)
+        assert emc_entries == 1
+        # A 10 s outage with zero traffic: expiry is frozen, so the
+        # idle flow must survive where a connected switch would have
+        # expired it at t=1.
+        outage(connection)
+        switch.failmode.tick(2.0)
+        assert switch.failmode.expiry_frozen
+        skips_before = switch.failmode.frozen_expiry_skips
+        switch.step_control()  # would expire were it not frozen
+        assert switch.failmode.frozen_expiry_skips == skips_before + 1
+        assert switch.bridge.table.entries() == [entry]
+        # Recovery at t=10: timers shift by the outage duration (the
+        # outage was detected at t=2, so the frozen window is 8 s) and
+        # the shift fires no table events — the EMC carries through.
+        connection.peer_available = True
+        connection.reconnect()
+        switch.failmode.tick(10.0)
+        assert switch.failmode.state == "connected"
+        assert entry.install_time == pytest.approx(8.0)
+        assert entry.last_used == pytest.approx(8.0)
+        assert switch.failmode.timers_shifted == 1
+        assert len(switch.datapath.emc) == emc_entries
+        # Not yet idle-expired relative to the shifted clock.
+        assert entry.is_expired(8.5) is None
+        assert entry.is_expired(9.5) is not None
+
+    def test_standalone_vs_secure_divergence(self):
+        """The behavioral contrast in one place: standalone forwards
+        but improvises state; secure stays silent but loses nothing."""
+        results = {}
+        for mode in ("standalone", "secure"):
+            switch, _controller, connection = build_stack(mode=mode)
+            a = switch.add_dpdkr_port("dpdkr0")
+            b = switch.add_dpdkr_port("dpdkr1")
+            outage(connection)
+            a.rings.to_switch.enqueue(mk_mbuf(src_mac=MAC_A,
+                                              dst_mac=MAC_B))
+            switch.step_dataplane()
+            results[mode] = {
+                "delivered": len(drain(b.rings.to_guest)),
+                "buffered": switch.failmode.pending_packet_ins,
+                "flows": len(switch.bridge.table.entries()),
+            }
+        assert results["standalone"]["delivered"] == 1
+        assert results["standalone"]["buffered"] == 0
+        assert results["secure"]["delivered"] == 0
+        assert results["secure"]["buffered"] == 1
+        assert results["secure"]["flows"] == 0
+
+
+class TestReconnectBackoff:
+    def test_backoff_doubles_up_to_max(self):
+        switch, _controller, connection = build_stack()
+        outage(connection)
+        failmode = switch.failmode
+        policy = failmode.policy
+        failmode.tick(0.0)  # detects the outage
+        assert failmode.state == "down"
+        # Attempts happen only when the backoff window elapses.
+        failmode.tick(policy.backoff_base / 2)
+        assert failmode.reconnect_attempts == 0
+        failmode.tick(policy.backoff_base)
+        assert failmode.reconnect_attempts == 1
+        assert failmode.reconnect_failures == 1
+        failmode.tick(policy.backoff_base * 3)
+        assert failmode.reconnect_attempts == 2
+        # Peer back: the next due attempt succeeds.
+        connection.peer_available = True
+        failmode.tick(1.0)
+        assert failmode.state == "connected"
+        assert connection.connected
+
+    def test_reconnect_fault_point_blocks_attempts(self):
+        switch, _controller, connection = build_stack()
+        plan = FaultPlan()
+        plan.inject(CONTROLLER_RECONNECT, "error", occurrences=(1,))
+        switch.failmode.faults = plan
+        connection.disconnect()  # peer stays available
+        failmode = switch.failmode
+        failmode.tick(0.0)
+        failmode.tick(1.0)  # first attempt: blocked by the fault
+        assert failmode.reconnect_failures == 1
+        assert failmode.state == "down"
+        failmode.tick(2.0)  # second attempt: clean
+        assert failmode.state == "connected"
+
+    def test_conn_fault_drops_send_and_disconnects(self):
+        switch, controller, connection = build_stack()
+        plan = FaultPlan()
+        plan.inject(CONTROLLER_CONN, "error", occurrences=(1,))
+        connection.faults = plan
+        controller.install_flow(Match(in_port=1), [OutputAction(2)])
+        assert not connection.connected
+        assert connection.faults_dropped == 1
+        # Subsequent sends are dropped-while-down, not delivered.
+        controller.install_flow(Match(in_port=1), [OutputAction(2)])
+        assert connection.dropped_disconnected == 1
+        switch.step_control()
+        assert switch.bridge.table.entries() == []
+
+
+SWEEP_SEEDS = (
+    [int(os.environ["REPRO_FAULT_SEED"])]
+    if os.environ.get("REPRO_FAULT_SEED")
+    else [11, 22, 33]
+)
+
+
+class TestControllerOutageSweep:
+    """Seeded controller-outage chaos under live traffic.
+
+    Whatever the fault schedule does to the channel, the switch must
+    end every run with bounded, fully-drained queues (zero growth) and
+    conserved upcall accounting.  ``REPRO_FAULT_SEED`` narrows the seed
+    list (the CI fault-sweep matrix uses this).
+    """
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_outage_keeps_queues_bounded(self, seed):
+        plan = FaultPlan(seed=seed)
+        plan.inject(CONTROLLER_CONN, "error", probability=0.4,
+                    max_triggers=3)
+        plan.inject(CONTROLLER_RECONNECT, "error", probability=0.5,
+                    max_triggers=4)
+        env = Environment()
+        node = NfvNode(env=env, faults=plan, highway_enabled=False,
+                       upcall_policy=UpcallPolicy(max_queue=64,
+                                                  port_quota=32))
+        node.create_vm("vm1", ["dpdkr0"])
+        node.create_vm("vm2", ["dpdkr1"])
+        node.switch.start()
+        # Unmatched traffic: a steady miss storm through the upcall
+        # path, with the channel faulting underneath it.
+        source = SourceApp("src", node.vms["vm1"].pmd("dpdkr0"),
+                           rate_pps=2e5)
+        sink = SinkApp("sink", node.vms["vm2"].pmd("dpdkr1"))
+        source.start(env)
+        sink.start(env)
+        env.run(until=0.05)
+        source.stop()
+        env.run(until=0.06)  # drain in-flight work
+        node.switch.stop()
+
+        queue = node.switch.upcall_queue
+        connection = node.connection
+        # Zero queue growth: everything offered was dispatched or
+        # accounted, nothing left sitting in any queue.
+        assert queue.depth == 0
+        assert node.switch.datapath.upcalls_no_match \
+            == queue.dispatched + queue.shed_total
+        assert queue.high_watermark <= queue.policy.max_queue
+        assert connection.pending_for_controller <= connection.max_pending
+        failmode = node.switch.failmode
+        assert failmode.pending_packet_ins \
+            <= failmode.policy.max_pending_packet_ins
+        # The books on the channel add up too.
+        if plan.injected:
+            assert connection.faults_dropped \
+                + connection.dropped_disconnected > 0
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_sweep_is_replayable(self, seed):
+        def run():
+            plan = FaultPlan(seed=seed)
+            plan.inject(CONTROLLER_CONN, "error", probability=0.4,
+                        max_triggers=3)
+            plan.inject(CONTROLLER_RECONNECT, "error", probability=0.5,
+                        max_triggers=4)
+            env = Environment()
+            node = NfvNode(env=env, faults=plan, highway_enabled=False)
+            node.create_vm("vm1", ["dpdkr0"])
+            node.create_vm("vm2", ["dpdkr1"])
+            node.switch.start()
+            source = SourceApp("src", node.vms["vm1"].pmd("dpdkr0"),
+                               rate_pps=2e5)
+            source.start(env)
+            env.run(until=0.03)
+            node.switch.stop()
+            failmode = node.switch.failmode
+            return (
+                [(a.point, a.mode.value, a.occurrence)
+                 for a in plan.injected],
+                (failmode.outages, failmode.reconnects,
+                 failmode.reconnect_failures),
+                node.switch.datapath.upcalls_no_match,
+            )
+
+        assert run() == run()

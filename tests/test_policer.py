@@ -87,6 +87,52 @@ class TestPolicingInDatapath:
         assert node.switch.policed_ports() == set()
 
 
+class TestPolicerObservability:
+    def _policed_node(self):
+        node = NfvNode()
+        node.create_vm("vm1", ["dpdkr0"])
+        node.create_vm("vm2", ["dpdkr1"])
+        node.controller.install_flow(
+            Match(in_port=node.ofport("dpdkr0"), eth_type=0x0800),
+            [OutputAction(node.ofport("dpdkr1"))],
+        )
+        node.switch.step_control()
+        # Frozen clock: only the initial burst allowance admits.
+        node.switch.set_ingress_policing("dpdkr0", rate_pps=100,
+                                         burst=2)
+        pmd = node.vms["vm1"].pmd("dpdkr0")
+        pmd.tx_burst([mk_mbuf() for _ in range(5)])
+        node.switch.step_dataplane()
+        return node
+
+    def test_policer_metrics_exported(self):
+        node = self._policed_node()
+        labels = {"switch": "ovs",
+                  "ofport": str(node.ofport("dpdkr0"))}
+        registry = node.obs.registry
+        assert registry.sample_value("repro_policer_admitted_total",
+                                     labels) == 2
+        assert registry.sample_value("repro_policer_dropped_total",
+                                     labels) == 3
+        assert registry.sample_value("repro_policer_rate_pps",
+                                     labels) == 100
+
+    def test_appctl_policer_show(self):
+        from repro.vswitch.appctl import AppCtl
+
+        node = self._policed_node()
+        text = AppCtl(node.switch).run("policer/show")
+        assert "policers: 1" in text
+        assert "rate=100pps" in text
+        assert "admitted=2 dropped=3" in text
+
+    def test_appctl_policer_show_empty(self):
+        from repro.vswitch.appctl import AppCtl
+
+        assert AppCtl(NfvNode().switch).run("policer/show") \
+            == "policers: none configured"
+
+
 class TestPolicingVsHighway:
     def test_policed_port_not_bypassed(self):
         node = NfvNode()
