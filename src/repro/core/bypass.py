@@ -136,12 +136,15 @@ class QuarantineRecord:
     """Bookkeeping for a link held off the highway after repeated failure.
 
     ``reason`` distinguishes why the link is here: ``"establish"`` (the
-    retry budget for setting it up ran out) or ``"degraded"`` (it *was*
-    ACTIVE and the watchdog executed a live fallback).  Degraded records
+    retry budget for setting it up ran out), ``"degraded"`` (it *was*
+    ACTIVE and the watchdog executed a live fallback) or
+    ``"peer_crashed"`` (an endpoint VM died abruptly and the emergency
+    teardown dismantled the channel).  Degraded and crashed records
     additionally carry ``heartbeat_mark`` — the consumer port's
-    heartbeat epoch at degrade time — and re-admission is deferred until
-    the epoch moves past it, i.e. until the peer demonstrably polls
-    again.
+    heartbeat epoch at degrade/crash time — and re-admission is
+    deferred until the epoch moves past it, i.e. until the peer (or a
+    repaired replacement attached to the same dpdkr zone) demonstrably
+    polls again.
     """
 
     link: P2PLink
@@ -199,6 +202,10 @@ class BypassManager:
         agent.hypervisor.on_destroy.append(self._on_vm_failure)
         self.failed_links: List[BypassLink] = []
         self.packets_lost_to_failures = 0
+        # Mempools whose ownership ledgers cover this node's traffic;
+        # wired by NfvNode.  A crashed guest's leases ("vm:<name>") are
+        # swept back into these pools by the crash handler.
+        self.mempools: List = []
         # Runtime health: periodic in simulation, check_once() in sync
         # tests (mirroring the worker-vs-direct split above).
         self.watchdog = BypassWatchdog(self, watchdog_policy)
@@ -388,6 +395,9 @@ class BypassManager:
         # enables the ring.corrupt injection point on bypass rings only.
         ring.generation = serial
         ring.faults = self.faults
+        # Ownership ledger: mbufs parked in the bypass ring are charged
+        # to the ring, so a crash sweep knows exactly where they sit.
+        ring.holder_token = "ring:%s" % zone_name
         stats = zone.put("stats", BypassStatsBlock(
             zone_name, bypass_link.link.src_ofport,
             bypass_link.link.dst_ofport,
@@ -515,8 +525,12 @@ class BypassManager:
         record = self._quarantine.pop(bypass_link.link.src_ofport, None)
         if bypass_link.attempts > 1 or record is not None:
             self.resilience.links_recovered += 1
-        if record is not None and record.reason == "degraded":
-            self.resilience.degraded_readmissions += 1
+        if record is not None and record.reason in ("degraded",
+                                                    "peer_crashed"):
+            if record.reason == "degraded":
+                self.resilience.degraded_readmissions += 1
+            else:
+                self.resilience.crashed_peer_readmissions += 1
             for callback in self.on_link_readmitted:
                 callback(bypass_link)
         self._update_port_flags()
@@ -533,10 +547,26 @@ class BypassManager:
 
         The link keeps forwarding through the vSwitch exactly as before
         detection; establishment is re-attempted after a (growing)
-        backoff rather than abandoned outright.  Degraded entries
-        additionally wait for the consumer's port heartbeat to move past
-        ``heartbeat_mark`` — re-admitting a bypass toward a still-frozen
-        peer would only re-strand packets.
+        backoff rather than abandoned outright.  Degraded/crashed
+        entries additionally wait for the consumer's port heartbeat to
+        move past ``heartbeat_mark`` — re-admitting a bypass toward a
+        still-frozen (or still-dead) peer would only re-strand packets.
+        """
+        self._quarantine_record(bypass_link, reason, heartbeat_mark)
+        self.failed_links.append(bypass_link)
+        self._finish_teardown(bypass_link)
+        bypass_link.state = LinkState.QUARANTINED
+
+    def _quarantine_record(self, bypass_link: BypassLink, reason: str,
+                           heartbeat_mark: Optional[int]
+                           ) -> QuarantineRecord:
+        """Create/refresh the key's record and schedule the re-attempt.
+
+        Shared between :meth:`_enter_quarantine` (which also runs the
+        teardown bookkeeping) and the crash handler, whose emergency
+        teardown has *already* finished the link — running
+        ``_finish_teardown`` twice would double-fire the removal
+        callbacks.
         """
         key = bypass_link.link.src_ofport
         record = self._quarantine.get(key)
@@ -548,9 +578,6 @@ class BypassManager:
         record.reason = reason
         record.heartbeat_mark = heartbeat_mark
         self.resilience.quarantines += 1
-        self.failed_links.append(bypass_link)
-        self._finish_teardown(bypass_link)
-        bypass_link.state = LinkState.QUARANTINED
         if self.env is not None:
             delay = self.retry_policy.quarantine_delay(record.failures)
             record.until = self._now() + delay
@@ -558,6 +585,7 @@ class BypassManager:
                 self._quarantine_reattempt(key, record, delay),
                 name="bypass.quarantine.%d" % key,
             )
+        return record
 
     def _quarantine_reattempt(self, key: int, record: QuarantineRecord,
                               delay: float):
@@ -570,11 +598,17 @@ class BypassManager:
             return
         if key in self._active:
             return
-        if record.reason == "degraded" and not self._peer_heartbeating(record):
-            # The consumer has not polled since the fallback: hold the
-            # link on the switch path and look again after another
-            # backoff (the record keeps its failure count — a silent
-            # peer must not reset the ladder).
+        peer_silent = (record.reason in ("degraded", "peer_crashed")
+                       and not self._peer_heartbeating(record))
+        if peer_silent or self._eligible_ports(current) is None:
+            # The consumer has not polled since the fallback/crash, or
+            # an endpoint VM is (still) dead: hold the link on the
+            # switch path and look again after another backoff (the
+            # record keeps its failure count — a silent peer must not
+            # reset the ladder).  Deferring on dead endpoints matters:
+            # _admit_link would silently no-op and nothing would ever
+            # re-schedule this record, stranding the link in quarantine
+            # even after a repair revived the peer.
             self.resilience.readmissions_deferred += 1
             for callback in self.on_readmission_deferred:
                 callback(key)
@@ -598,6 +632,18 @@ class BypassManager:
         return epoch is None or epoch > record.heartbeat_mark
 
     # runtime health -----------------------------------------------------------------
+
+    def heartbeat_zone_present(self, port_name: str) -> bool:
+        """Does the port's dpdkr zone (the heartbeat's home) still exist?
+
+        A vanished zone is peer-death evidence, not staleness: host-side
+        port cleanup freed it, or a test fixture yanked it.  The
+        watchdog checks this before any path does a blind
+        ``registry.lookup`` (the crash-window race).
+        """
+        from repro.dpdk.dpdkr import dpdkr_zone_name
+
+        return dpdkr_zone_name(port_name) in self.registry
 
     def consumer_heartbeat_epoch(self, port_name: str) -> Optional[int]:
         """The port's guest-published heartbeat epoch (None: no signal)."""
@@ -651,6 +697,8 @@ class BypassManager:
             res.wedged_guests += 1
         elif verdict == HealthState.DEAD_PEER:
             res.dead_peer_fallbacks += 1
+        elif verdict == HealthState.PEER_CRASHED:
+            res.peer_crashes += 1
         elif verdict == HealthState.CORRUPT:
             res.ring_integrity_failures += 1
         res.links_degraded += 1
@@ -683,7 +731,7 @@ class BypassManager:
             leftovers = [mbuf for mbuf in leftovers if mbuf is not None]
         if leftovers:
             salvaged = 0
-            if dst_alive:
+            if dst_alive and self.heartbeat_zone_present(dst):
                 from repro.dpdk.dpdkr import dpdkr_zone_name
 
                 zone = self.registry.lookup(dpdkr_zone_name(dst))
@@ -707,7 +755,8 @@ class BypassManager:
                     )
         self._enter_quarantine(
             bypass_link,
-            reason="degraded",
+            reason=("peer_crashed" if verdict == HealthState.PEER_CRASHED
+                    else "degraded"),
             heartbeat_mark=self.consumer_heartbeat_epoch(dst),
         )
 
@@ -857,7 +906,9 @@ class BypassManager:
                      if bypass_link.ring is not None else [])
         if leftovers:
             salvaged = 0
-            if self.agent.is_port_alive(bypass_link.dst_port_name):
+            if (self.agent.is_port_alive(bypass_link.dst_port_name)
+                    and self.heartbeat_zone_present(
+                        bypass_link.dst_port_name)):
                 from repro.dpdk.dpdkr import dpdkr_zone_name
 
                 zone = self.registry.lookup(
@@ -903,12 +954,21 @@ class BypassManager:
 
         Unlike the orderly teardown, this runs synchronously even in
         simulation mode — it is the host-side janitor reacting to a
-        crash, and the surviving PMD is reconfigured by delivering the
+        death, and the surviving PMD is reconfigured by delivering the
         control message directly (the dead peer cannot participate in
         any protocol).  Packets sitting in a ring whose receiver died
         are unrecoverable and are counted in
         :attr:`packets_lost_to_failures`.
+
+        When the death was a *crash* (abrupt process kill, per the
+        hypervisor's crash record) two extra things happen: the torn
+        link is quarantined with reason ``"peer_crashed"`` — so a
+        repaired replacement VM gets its bypass back through the
+        heartbeat-gated re-admission instead of waiting for detector
+        churn — and every mbuf the ownership ledger charges to the dead
+        guest is swept back into the node's mempools.
         """
+        crashed = self.agent.hypervisor.was_crashed(vm_name)
         dead_ports = set(self.agent.ports_of(vm_name))
         for bypass_link in list(self._active.values()):
             if (bypass_link.src_port_name not in dead_ports
@@ -916,11 +976,30 @@ class BypassManager:
                 continue
             if bypass_link.state == LinkState.ACTIVE:
                 self._emergency_teardown(bypass_link, dead_ports)
+                if crashed:
+                    # If the detector later withdraws the rule, the
+                    # scheduled re-attempt notices and drops the record.
+                    self._quarantine_record(
+                        bypass_link, "peer_crashed",
+                        self.consumer_heartbeat_epoch(
+                            bypass_link.dst_port_name),
+                    )
+                    bypass_link.state = LinkState.QUARANTINED
             else:
                 # Mid-establishment: the agent's in-flight request fails
                 # (dead-VM guards / failed reply events) and the worker
                 # aborts the link when it resumes.
                 bypass_link.revoked = True
+        if crashed:
+            self.resilience.peer_crashes += 1
+            self._reclaim_dead_holder(vm_name)
+
+    def _reclaim_dead_holder(self, vm_name: str) -> None:
+        """Sweep the crashed guest's mbuf leases back into the pools."""
+        holder = "vm:%s" % vm_name
+        for pool in self.mempools:
+            report = pool.reclaim(holder)
+            self.resilience.mbufs_reclaimed += report.reclaimed
 
     def _emergency_teardown(self, bypass_link: BypassLink,
                             dead_ports) -> None:
@@ -956,12 +1035,14 @@ class BypassManager:
             # onto the survivor's normal channel, then detach it.
             leftovers = ring.drain()
             if leftovers:
-                from repro.dpdk.dpdkr import dpdkr_zone_name
+                accepted = 0
+                if self.heartbeat_zone_present(bypass_link.dst_port_name):
+                    from repro.dpdk.dpdkr import dpdkr_zone_name
 
-                zone = self.registry.lookup(
-                    dpdkr_zone_name(bypass_link.dst_port_name)
-                )
-                accepted = zone.get("rx").enqueue_burst(leftovers)
+                    zone = self.registry.lookup(
+                        dpdkr_zone_name(bypass_link.dst_port_name)
+                    )
+                    accepted = zone.get("rx").enqueue_burst(leftovers)
                 for mbuf in leftovers[accepted:]:
                     self.packets_lost_to_failures += 1
                     mbuf.free()
@@ -974,13 +1055,14 @@ class BypassManager:
                 )
             )
         # Release the survivor's mapping; the dead VM's mapping was
-        # already dropped by destroy_vm.
-        zone = self.registry.lookup(bypass_link.zone_name)
-        for port_name in (bypass_link.src_port_name,
-                          bypass_link.dst_port_name):
-            owner = self.agent.owner_of(port_name)
-            if owner in zone.mapped_by:
-                hypervisor.force_unplug(owner, bypass_link.zone_name)
+        # already dropped by destroy_vm / crash_vm.
+        if bypass_link.zone_name in self.registry:
+            zone = self.registry.lookup(bypass_link.zone_name)
+            for port_name in (bypass_link.src_port_name,
+                              bypass_link.dst_port_name):
+                owner = self.agent.owner_of(port_name)
+                if owner in zone.mapped_by:
+                    hypervisor.force_unplug(owner, bypass_link.zone_name)
         self.failed_links.append(bypass_link)
         self._finish_teardown(bypass_link)
 

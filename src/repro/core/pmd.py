@@ -104,6 +104,14 @@ class DualChannelPmd(DpdkrPmd):
         # Bursts that left the bypass ring above its watermark: the
         # receiver is falling behind (congestion signal in bypass/show).
         self.bypass_congestion_events = 0
+        # Ownership-ledger token (``"vm:<name>"``), set by the
+        # GuestPmdManager: every received mbuf is charged to this VM
+        # until it is transmitted or freed, so a crash can reclaim
+        # buffers sitting in guest memory.
+        self.holder_token: Optional[str] = None
+        # Flipped by GuestPmdManager.kill() when the VM process dies
+        # abruptly: a dead guest polls nothing and accepts nothing.
+        self.killed = False
 
     # -- channel configuration (driven over virtio-serial) -------------------
 
@@ -247,7 +255,7 @@ class DualChannelPmd(DpdkrPmd):
         ``pmd.rx_poll`` fault point) publishes nothing and drains
         nothing — the condition the host watchdog exists to catch.
         """
-        if self._rx_frozen():
+        if self.killed or self._rx_frozen():
             return []
         faults = self.faults
         # Only a PMD consuming a bypass counts as a pmd.rx_poll
@@ -321,9 +329,18 @@ class DualChannelPmd(DpdkrPmd):
         if mbufs:
             self.stats.ipackets += len(mbufs)
             self.stats.ibytes += sum(m.wire_length for m in mbufs)
+            if self.holder_token is not None:
+                token = self.holder_token
+                for mbuf in mbufs:
+                    pool = mbuf.pool
+                    if pool is not None:
+                        pool.assign(mbuf, token)
         return mbufs
 
     def tx_burst(self, mbufs: List[Mbuf]) -> int:
+        if self.killed:
+            self.stats.oerrors += len(mbufs)
+            return 0
         state = self.tx_state
         if state == TxState.PENDING_BYPASS:
             # Flip only when nothing of ours is still queued toward the
@@ -413,6 +430,9 @@ class GuestPmdManager:
         self.pmds: Dict[str, DualChannelPmd] = {}
         self.faults: Optional[FaultPlan] = vm.serial.faults
         vm.serial.guest_handler = self.handle_command
+        # Back-pointer so Hypervisor.crash_vm can kill the guest-side
+        # runtime along with the process.
+        vm.guest_runtime = self
 
     def create_pmd(self, port_name: str) -> DualChannelPmd:
         """Attach to a dpdkr port's normal channel and register the PMD."""
@@ -425,9 +445,15 @@ class GuestPmdManager:
         env = self.vm.serial.env
         if env is not None:
             pmd.clock = lambda: env.now
+        pmd.holder_token = "vm:%s" % self.vm.name
         self.vm.eal.register_port(pmd)
         self.pmds[port_name] = pmd
         return pmd
+
+    def kill(self) -> None:
+        """Abrupt death: every PMD stops polling and transmitting."""
+        for pmd in self.pmds.values():
+            pmd.killed = True
 
     def install_faults(self, faults: Optional[FaultPlan]) -> None:
         """Re-arm this VM's PMDs with ``faults`` (late plan install)."""

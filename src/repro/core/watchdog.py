@@ -25,6 +25,10 @@ host can already read:
              idle
   DEAD_PEER  the compute agent already knows an endpoint VM is dead but
              the link is still ACTIVE (janitor backstop)
+  PEER_CRASHED an endpoint VM died *abruptly* — the agent records a
+             crash, or the consumer's heartbeat zone vanished outright
+             (a crashed VM's force-unplug dropped it), which is peer
+             death evidence, not mere staleness
   CORRUPT    :meth:`~repro.mem.ring.Ring.validate` failed (slot or
              generation-tag corruption), or the consumer flagged
              ``rx_integrity_errors`` after dequeuing a smashed slot
@@ -60,6 +64,7 @@ class HealthState(enum.Enum):
     STALLED = "stalled"
     WEDGED = "wedged"
     DEAD_PEER = "dead_peer"
+    PEER_CRASHED = "peer_crashed"
     CORRUPT = "corrupt"
 
 
@@ -173,7 +178,20 @@ class BypassWatchdog:
         policy = self.policy
         if not (manager.agent.is_port_alive(bypass_link.src_port_name)
                 and manager.agent.is_port_alive(bypass_link.dst_port_name)):
+            if (manager.agent.is_port_crashed(bypass_link.src_port_name)
+                    or manager.agent.is_port_crashed(
+                        bypass_link.dst_port_name)):
+                return HealthState.PEER_CRASHED
             return HealthState.DEAD_PEER
+        if (track.port_signed_on and not manager.heartbeat_zone_present(
+                bypass_link.dst_port_name)):
+            # The consumer heartbeat zone is *gone*, not merely stale —
+            # a crashed VM's force-unplug (or host-side port cleanup)
+            # dropped it.  Before this check the classifier would read
+            # a None epoch, call the link HEALTHY, and later paths that
+            # blindly looked the zone up would raise out of the
+            # watchdog (the crash-window race).
+            return HealthState.PEER_CRASHED
         ring = bypass_link.ring
         if policy.validate_ring and ring is not None:
             try:

@@ -45,6 +45,11 @@ class DpdkrSharedRings:
         self.to_guest: Ring = self.zone.put(
             "rx", Ring("%s.to_guest" % port_name, ring_size, RingMode.SP_SC)
         )
+        # Ownership-ledger tokens: buffers parked in a dpdkr ring are
+        # charged to the ring, so a crashed endpoint's backlog can be
+        # swept back to its pool.
+        self.to_switch.holder_token = "ring:%s.to_switch" % port_name
+        self.to_guest.holder_token = "ring:%s.to_guest" % port_name
         # Guest-written, host-read liveness epoch.  Imported lazily:
         # repro.core pulls in the vswitch stack, which needs this module.
         from repro.core.stats import PortHeartbeat

@@ -51,16 +51,30 @@ class VirtioSerial:
         self.to_guest_log: List[ControlMessage] = []
         self.to_host_log: List[ControlMessage] = []
         self.dropped_messages = 0
+        # Set by kill(): the device is gone (VM crashed).  Everything
+        # sent afterwards — including messages already in flight when
+        # the crash hit — vanishes; senders recover via their timeouts.
+        self.dead = False
+
+    def kill(self) -> None:
+        """The backing device died mid-conversation (VM crash)."""
+        self.dead = True
 
     # -- sending ------------------------------------------------------------
 
     def host_send(self, message: ControlMessage) -> None:
         """Host -> guest; delivered after the one-way latency."""
+        if self.dead:
+            self.dropped_messages += 1
+            return
         self.to_guest_log.append(message)
         self._deliver(message, to_guest=True)
 
     def guest_send(self, message: ControlMessage) -> None:
         """Guest -> host."""
+        if self.dead:
+            self.dropped_messages += 1
+            return
         self.to_host_log.append(message)
         self._deliver(message, to_guest=False)
 
@@ -121,6 +135,10 @@ class VirtioSerial:
     def _delayed_dispatch(self, message: ControlMessage, to_guest: bool,
                           extra_delay: float = 0.0):
         yield self.env.timeout(self.one_way_latency + extra_delay)
+        if self.dead:
+            # The VM crashed while this message was on the wire.
+            self.dropped_messages += 1
+            return
         try:
             self._dispatch(message, to_guest=to_guest)
         except Exception as error:  # noqa: BLE001 - NACK, don't crash

@@ -143,6 +143,17 @@ class ComputeAgent:
         owner = self._port_owner.get(port_name)
         return owner is not None and owner not in self.dead_vms
 
+    def is_port_crashed(self, port_name: str) -> bool:
+        """True when the port's VM is dead because it *crashed*.
+
+        Distinguishes abrupt process death (reclaim + quarantine with
+        reason ``"peer_crashed"``) from a graceful destroy; a
+        replacement VM reusing the name clears the condition.
+        """
+        owner = self._port_owner.get(port_name)
+        return (owner is not None and owner in self.dead_vms
+                and self.hypervisor.was_crashed(owner))
+
     # -- requests from OVS ---------------------------------------------------------
 
     def setup_bypass(
@@ -261,6 +272,28 @@ class ComputeAgent:
 
         return _effects()
 
+    def _fire_setup_crash(self, request: AgentRequest) -> None:
+        """The ``vm.crash_during_setup`` injection point.
+
+        Fired after the bypass zones are plugged but before the receiver
+        PMD is configured — the crash window that leaves the most
+        channel state (a mapped zone, a provisioned ring, a half-built
+        link) for the failure paths to clean up.  A triggered occurrence
+        kills the *receiver* VM abruptly, whatever the spec's mode.
+        """
+        if self.faults is None:
+            return
+        from repro.faults import VM_CRASH_DURING_SETUP
+
+        if not self.faults.has_specs(VM_CRASH_DURING_SETUP):
+            return
+        action = self.faults.fire(VM_CRASH_DURING_SETUP)
+        if action is None:
+            return
+        victim = self._port_owner.get(request.dst_port_name)
+        if victim in self.hypervisor.vms:
+            self.hypervisor.crash_vm(victim)
+
     @staticmethod
     def _check_reply(reply) -> None:
         """Fail the request when the guest NACKed a PMD command."""
@@ -277,6 +310,7 @@ class ComputeAgent:
         for port_name in (request.src_port_name, request.dst_port_name):
             self.hypervisor.plug_ivshmem(self.owner_of(port_name),
                                          request.zone_name)
+        self._fire_setup_crash(request)
         self._send_pmd_command_checked(
             self._vm_of(request.dst_port_name), "attach_bypass",
             request.dst_port_name, request, role="rx")
@@ -355,6 +389,7 @@ class ComputeAgent:
         yield env.all_of(plugs)
         self._check_cancel(request)
         request.t_zones_plugged = env.now
+        self._fire_setup_crash(request)
         # 3. Receiver PMD first: make-before-break.
         reply = yield self._pmd_command_event(
             self._vm_of(request.dst_port_name), "attach_bypass",

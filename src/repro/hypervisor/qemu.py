@@ -34,6 +34,12 @@ class VirtualMachine:
         self.serial = serial
         self.ivshmem_devices: List[str] = []  # zone names, in plug order
         self.running = True
+        # True after Hypervisor.crash_vm — distinguishes "QEMU process
+        # died" from a graceful destroy for the layers above.
+        self.crashed = False
+        # Guest-side runtime (GuestPmdManager) back-pointer, set when
+        # one is created; crash_vm kills it with the process.
+        self.guest_runtime = None
 
     def has_zone(self, zone_name: str) -> bool:
         return zone_name in self.ivshmem_devices
@@ -65,6 +71,15 @@ class Hypervisor:
         # compute agent and the bypass manager subscribe here to clean
         # up channel state that references the dead guest.
         self.on_destroy: List = []
+        # Called with the VM name after crash_vm only (before the
+        # on_destroy listeners run).
+        self.on_crash: List = []
+        # Names whose most recent death was a crash (cleared when the
+        # name is booted again, or superseded by a graceful destroy).
+        self.crashed_vms = set()
+        self.crashes = 0
+        # Round-robin cursor for the vm.crash chaos point.
+        self._chaos_cursor = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -86,10 +101,13 @@ class Hypervisor:
             self.registry.map_into(zone_name, name)
             vm.ivshmem_devices.append(zone_name)
         self.vms[name] = vm
+        # A replacement VM reusing a crashed instance's name supersedes
+        # the crash record: the name is alive again.
+        self.crashed_vms.discard(name)
         return vm
 
     def destroy_vm(self, name: str) -> None:
-        """Tear a VM down (graceful stop or crash — same host-side view).
+        """Graceful teardown (guest shuts down, then QEMU exits).
 
         All its ivshmem mappings are released first, then the destroy
         listeners run so higher layers (compute agent, bypass manager)
@@ -101,8 +119,80 @@ class Hypervisor:
             vm.ivshmem_devices.remove(zone_name)
         vm.running = False
         del self.vms[name]
+        self.crashed_vms.discard(name)
         for listener in list(self.on_destroy):
             listener(name)
+
+    def crash_vm(self, name: str) -> None:
+        """Abrupt VM death (the QEMU process is killed).
+
+        Unlike :meth:`destroy_vm`, no guest-side teardown runs: the
+        virtio-serial channel goes dead mid-conversation (in-flight
+        messages and replies vanish), the guest runtime stops polling,
+        and every plugged ivshmem zone — normal channels *and* bypass
+        zones — is force-unplugged.  The ``on_crash`` listeners fire
+        first, then the regular ``on_destroy`` listeners (the host's
+        SIGCHLD view: a death is a death).
+        """
+        vm = self._vm(name)
+        vm.serial.kill()
+        if vm.guest_runtime is not None:
+            vm.guest_runtime.kill()
+        for zone_name in list(vm.ivshmem_devices):
+            self.registry.unmap_from(zone_name, name)
+            vm.ivshmem_devices.remove(zone_name)
+        vm.running = False
+        vm.crashed = True
+        del self.vms[name]
+        self.crashed_vms.add(name)
+        self.crashes += 1
+        for listener in list(self.on_crash):
+            listener(name)
+        for listener in list(self.on_destroy):
+            listener(name)
+
+    def was_crashed(self, name: str) -> bool:
+        """True when ``name``'s most recent death was a crash."""
+        return name in self.crashed_vms
+
+    def chaos_tick(self) -> Optional[str]:
+        """Fire the ``vm.crash`` fault point against one running VM.
+
+        The victim is the fault action's ``message`` when it names a
+        running VM, otherwise the next VM in name order (round-robin) —
+        deterministic under a seeded plan.  Returns the crashed VM's
+        name, or None when nothing fired.
+        """
+        if self.faults is None or not self.vms:
+            return None
+        from repro.faults import VM_CRASH
+
+        if not self.faults.has_specs(VM_CRASH):
+            return None
+        action = self.faults.fire(VM_CRASH)
+        if action is None:
+            return None
+        if action.message in self.vms:
+            victim = action.message
+        else:
+            names = sorted(self.vms)
+            victim = names[self._chaos_cursor % len(names)]
+        self._chaos_cursor += 1
+        self.crash_vm(victim)
+        return victim
+
+    def start_chaos(self, env: Environment, period: float = 0.001):
+        """Run :meth:`chaos_tick` on a housekeeping loop (sim mode)."""
+        from repro.sim.pollloop import PollLoop
+
+        def iteration() -> float:
+            self.chaos_tick()
+            return 0.0
+
+        loop = PollLoop(env, "hypervisor.chaos", iteration,
+                        costs=self.costs, period=period)
+        loop.start()
+        return loop
 
     def force_unplug(self, vm_name: str, zone_name: str) -> None:
         """Immediate unplug for failure handling (no monitor latency)."""

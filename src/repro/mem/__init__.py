@@ -12,12 +12,19 @@ These model the DPDK objects the prototype is built from:
 """
 
 from repro.mem.memzone import Memzone, MemzoneError, MemzoneRegistry
-from repro.mem.mempool import Mempool, MempoolEmptyError
+from repro.mem.mempool import (
+    Mempool,
+    MempoolDoubleFreeError,
+    MempoolEmptyError,
+    ReclaimReport,
+)
 from repro.mem.ring import Ring, RingFullError, RingEmptyError, RingMode
 
 __all__ = [
     "Mempool",
+    "MempoolDoubleFreeError",
     "MempoolEmptyError",
+    "ReclaimReport",
     "Memzone",
     "MemzoneError",
     "MemzoneRegistry",

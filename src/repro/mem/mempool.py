@@ -5,9 +5,20 @@ pool is fixed-size, a leak anywhere in the data path shows up as
 allocation failure — the same backpressure behaviour a real DPDK
 deployment has, and one of the invariants the property tests check
 (every experiment must end with all mbufs back in the pool).
+
+The pool also keeps an **ownership ledger**: each in-flight mbuf can be
+tagged with its current *holder* — a ring (``"ring:<name>"``) or a VM
+(``"vm:<name>"``) — updated as the buffer moves through the data path.
+When a holder dies abruptly (a crashed VNF), :meth:`reclaim` sweeps its
+bucket and returns the buffers, so a crash costs latency instead of
+permanently shrinking forwarding capacity.  Per-mbuf ``in_pool`` state
+doubles as an immediate double-free detector: the old aggregate
+"over-freed" guard only fired once the pool was *full*, silently letting
+a specific mbuf sit in the free list twice while others were in flight.
 """
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.packet.mbuf import Mbuf
 
@@ -16,18 +27,54 @@ class MempoolEmptyError(RuntimeError):
     """Raised when the pool cannot satisfy an allocation."""
 
 
+class MempoolDoubleFreeError(RuntimeError):
+    """Raised when an mbuf already in the free list is put() again."""
+
+
+@dataclass
+class ReclaimReport:
+    """Outcome of one :meth:`Mempool.reclaim` sweep.
+
+    ``leaked`` is the number of mbufs the dead holder was charged with
+    at sweep start; every one of them is either returned to the pool
+    (``reclaimed``), found to already be in the free list — ledger vs.
+    in_pool inconsistency, i.e. a double free (``double_free_detected``)
+    — or still referenced elsewhere and therefore unreclaimable
+    (``unreclaimable``; counted into the pool's ``leaked_permanent``).
+    """
+
+    owner: str
+    leaked: int = 0
+    reclaimed: int = 0
+    double_free_detected: int = 0
+    unreclaimable: int = 0
+
+
 class Mempool:
     """Fixed-size pool of recycled :class:`Mbuf` descriptors."""
 
-    def __init__(self, name: str, size: int = 4096) -> None:
+    def __init__(self, name: str, size: int = 4096,
+                 track_ownership: bool = True) -> None:
         if size <= 0:
             raise ValueError("mempool size must be positive")
         self.name = name
         self.size = size
+        self.track_ownership = track_ownership
         self._free: List[Mbuf] = [Mbuf(pool=self) for _ in range(size)]
+        for mbuf in self._free:
+            mbuf.in_pool = True
+        # holder token -> {id(mbuf): mbuf}.  Buckets are only populated
+        # for tokenized paths (rings with a holder_token, guest PMDs);
+        # untracked traffic costs nothing here.
+        self._holders: Dict[str, Dict[int, Mbuf]] = {}
         self.alloc_count = 0
         self.free_count_total = 0
         self.alloc_failures = 0
+        self.double_free_detected = 0
+        self.reclaim_sweeps = 0
+        self.reclaimed_total = 0
+        self.leaked_found_total = 0
+        self.leaked_permanent = 0
 
     @property
     def available(self) -> int:
@@ -45,6 +92,7 @@ class Mempool:
             raise MempoolEmptyError("mempool %r exhausted" % self.name)
         mbuf = self._free.pop()
         mbuf.reset()
+        mbuf.in_pool = False
         self.alloc_count += 1
         return mbuf
 
@@ -60,6 +108,7 @@ class Mempool:
         del self._free[-count:]
         for mbuf in out:
             mbuf.reset()
+            mbuf.in_pool = False
         self.alloc_count += count
         return out
 
@@ -77,10 +126,95 @@ class Mempool:
                 "mbuf belongs to pool %r, not %r"
                 % (getattr(mbuf.pool, "name", None), self.name)
             )
+        if mbuf.in_pool:
+            self.double_free_detected += 1
+            raise MempoolDoubleFreeError(
+                "mempool %r: mbuf freed twice (already in pool)"
+                % self.name
+            )
         if len(self._free) >= self.size:
+            # Backstop: a foreign descriptor smuggled in (can't happen
+            # through put()'s pool check, but keep the aggregate guard).
             raise RuntimeError("mempool %r over-freed" % self.name)
+        if mbuf.holder is not None:
+            self._drop_from_ledger(mbuf)
+        mbuf.in_pool = True
         self._free.append(mbuf)
         self.free_count_total += 1
+
+    # -- ownership ledger ---------------------------------------------------
+
+    def assign(self, mbuf: Mbuf, holder: str) -> None:
+        """Move ``mbuf``'s ledger entry to ``holder`` (O(1)).
+
+        Called from ring enqueue and guest PMD rx paths; a buffer with
+        no tokenized touchpoints simply never appears in the ledger.
+        """
+        if not self.track_ownership:
+            return
+        current = mbuf.holder
+        if current == holder:
+            return
+        if current is not None:
+            bucket = self._holders.get(current)
+            if bucket is not None:
+                bucket.pop(id(mbuf), None)
+        self._holders.setdefault(holder, {})[id(mbuf)] = mbuf
+        mbuf.holder = holder
+
+    def _drop_from_ledger(self, mbuf: Mbuf) -> None:
+        bucket = self._holders.get(mbuf.holder)
+        if bucket is not None:
+            bucket.pop(id(mbuf), None)
+        mbuf.holder = None
+
+    def holders(self) -> Dict[str, int]:
+        """Non-empty ledger buckets: holder token -> mbuf count."""
+        return {
+            token: len(bucket)
+            for token, bucket in self._holders.items() if bucket
+        }
+
+    def held_by(self, owner: str) -> int:
+        """Number of mbufs the ledger charges to ``owner``."""
+        bucket = self._holders.get(owner)
+        return len(bucket) if bucket else 0
+
+    def reclaim(self, owner: str) -> ReclaimReport:
+        """Sweep a dead holder's bucket back into the pool.
+
+        Invariant: ``leaked == reclaimed + double_free_detected +
+        unreclaimable``.  Only call this once the holder is truly dead —
+        a live holder's buffers would be recycled under it.
+        """
+        report = ReclaimReport(owner=owner)
+        self.reclaim_sweeps += 1
+        bucket = self._holders.pop(owner, None)
+        if not bucket:
+            return report
+        report.leaked = len(bucket)
+        self.leaked_found_total += report.leaked
+        for mbuf in bucket.values():
+            mbuf.holder = None
+            if mbuf.in_pool:
+                # Ledger said "held by owner" but the descriptor is in
+                # the free list: it was freed twice somewhere.
+                report.double_free_detected += 1
+                self.double_free_detected += 1
+                continue
+            if mbuf.refcnt > 1:
+                # Someone else still holds a reference; forcing it back
+                # would hand out an aliased buffer.  Permanent loss.
+                report.unreclaimable += 1
+                self.leaked_permanent += 1
+                continue
+            mbuf.refcnt = 0
+            mbuf.in_pool = True
+            self._free.append(mbuf)
+            report.reclaimed += 1
+            self.reclaimed_total += 1
+            self.free_count_total += 1
+        return report
 
     def __repr__(self) -> str:
         return "<Mempool %r %d/%d free>" % (

@@ -90,6 +90,12 @@ class Ring:
         # Armed by the owner for ring.corrupt injection (None = clean).
         self.faults = None
         self.corruptions_injected = 0
+        # Ownership-ledger token (``"ring:<name>"``): when set, every
+        # successful enqueue charges the mbufs to this ring in their
+        # pool's ledger, so a crashed consumer's backlog can be
+        # reclaimed.  None (the default) keeps the hot path free of
+        # ledger work for untracked rings.
+        self.holder_token: Optional[str] = None
 
     # -- occupancy ---------------------------------------------------------
 
@@ -123,6 +129,17 @@ class Ring:
         self._slots[self._head & self._mask] = obj
         self._head = (self._head + 1) & self._mask
         self.enqueued += 1
+        if self.holder_token is not None:
+            self._charge((obj,), 1)
+
+    def _charge(self, objs: Sequence[Any], count: int) -> None:
+        """Tag the first ``count`` of ``objs`` as held by this ring."""
+        token = self.holder_token
+        for index in range(count):
+            obj = objs[index]
+            pool = getattr(obj, "pool", None)
+            if pool is not None:
+                pool.assign(obj, token)
 
     def dequeue(self) -> Any:
         """Dequeue one object; raises :class:`RingEmptyError` when empty."""
@@ -152,6 +169,8 @@ class Ring:
             head = (head + 1) & self._mask
         self._head = head
         self.enqueued += count
+        if self.holder_token is not None:
+            self._charge(objs, count)
 
     def dequeue_bulk(self, count: int) -> List[Any]:
         """Dequeue exactly ``count`` objects or none (raises RingEmptyError)."""
@@ -185,6 +204,8 @@ class Ring:
             head = (head + 1) & self._mask
         self._head = head
         self.enqueued += count
+        if self.holder_token is not None:
+            self._charge(objs, count)
         if count < len(objs):
             self.partial_enqueues += 1
         if self.faults is not None and self.faults.has_specs(RING_CORRUPT):

@@ -8,6 +8,7 @@ from repro.metrics.timeline import (
     EventTimeline,
     TimelineEvent,
     attach_highway_tracing,
+    attach_lifecycle_tracing,
     attach_overload_tracing,
 )
 
@@ -18,6 +19,7 @@ __all__ = [
     "ResilienceCounters",
     "TimelineEvent",
     "attach_highway_tracing",
+    "attach_lifecycle_tracing",
     "attach_overload_tracing",
     "format_series",
     "format_table",

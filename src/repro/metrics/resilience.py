@@ -37,6 +37,11 @@ class ResilienceCounters:
     packets_salvaged: int = 0      # ring leftovers re-homed during fallback
     degraded_readmissions: int = 0  # DEGRADED links re-admitted to bypass
     readmissions_deferred: int = 0  # re-admission held: peer still silent
+    # Crash lifecycle (abrupt VM death; see PROTOCOL.md "Crash failure
+    # model").
+    peer_crashes: int = 0          # VM crashes that touched bypass state
+    mbufs_reclaimed: int = 0       # mbufs swept off dead holders' ledgers
+    crashed_peer_readmissions: int = 0  # re-admitted after a peer crash
 
     def rows(self) -> List[List]:
         """``[counter, value]`` rows for :func:`~repro.metrics.format_table`."""

@@ -167,3 +167,22 @@ def attach_highway_tracing(timeline: EventTimeline, detector,
             dst=bl.link.dst_ofport,
         )
     )
+
+
+def attach_lifecycle_tracing(timeline: EventTimeline, repairer=None,
+                             hypervisor=None) -> None:
+    """Subscribe a timeline to the crash/repair lifecycle.
+
+    Records one ``vm-crashed`` event per abrupt VM death (from the
+    hypervisor) and one event per chain-repairer transition (nf-down,
+    nf-repair-started, nf-repaired, nf-repair-failed, nf-demoted,
+    nf-removed).  Either source is optional.
+    """
+    if hypervisor is not None:
+        hypervisor.on_crash.append(
+            lambda name: timeline.record("vm-crashed", vm=name)
+        )
+    if repairer is not None:
+        repairer.on_event.append(
+            lambda event, nf: timeline.record(event, nf=nf)
+        )

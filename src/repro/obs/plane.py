@@ -45,6 +45,10 @@ class Observability:
         # (they only exist after start()).
         self._loops: List[Tuple[Any, Optional[StageAccounting]]] = []
         self._switches: List[Any] = []
+        # Guest PMDs keyed by (vm, port): a repaired VM re-registers the
+        # same key and the existing collector reads the replacement —
+        # no duplicate sample families, no stale-PMD exports.
+        self._guest_pmds: dict = {}
         self.registry.register_object(
             "repro_trace", self.tracer,
             ("packets_seen", "traces_started", "traces_finished"),
@@ -380,16 +384,90 @@ class Observability:
         self.register_ring(rings.to_guest, role="normal_rx")
 
     def register_guest_pmd(self, pmd, vm_name: str, port_name: str) -> None:
-        """Per-channel RX/TX split of one dual-channel guest PMD."""
+        """Per-channel RX/TX split of one dual-channel guest PMD.
+
+        Keyed on (vm, port): registering again — the chain repairer
+        re-creating a crashed VM on the same ports — swaps the tracked
+        PMD under the existing collector instead of stacking duplicates.
+        """
+        key = (vm_name, port_name)
+        first = key not in self._guest_pmds
+        self._guest_pmds[key] = pmd
+        if not first:
+            return
         labels = {"vm": vm_name, "port": port_name}
-        self.registry.register_object(
-            "repro_pmd_channel", pmd,
-            ("tx_via_bypass", "tx_via_normal", "rx_via_bypass",
-             "rx_via_normal", "tx_stall_rejects", "rx_integrity_drops",
-             "bypass_congestion_events"),
-            labels=labels,
-            help="guest PMD per-channel packet counters",
+        attributes = (
+            "tx_via_bypass", "tx_via_normal", "rx_via_bypass",
+            "rx_via_normal", "tx_stall_rejects", "rx_integrity_drops",
+            "bypass_congestion_events",
         )
+
+        def collect() -> Iterable[Sample]:
+            current = self._guest_pmds[key]
+            for attr in attributes:
+                yield Sample("repro_pmd_channel_%s" % attr, dict(labels),
+                             float(getattr(current, attr)), "counter",
+                             "guest PMD per-channel packet counters")
+
+        self.registry.register_collector(collect)
+
+    def register_mempool(self, pool) -> None:
+        """Track a Mempool: occupancy, lifecycle counters, and the
+        ownership ledger's per-holder in-flight gauge."""
+        labels = {"pool": pool.name}
+
+        def collect() -> Iterable[Sample]:
+            yield Sample("repro_mempool_size", dict(labels),
+                         float(pool.size), "gauge", "pool capacity")
+            yield Sample("repro_mempool_available", dict(labels),
+                         float(pool.available), "gauge",
+                         "mbufs currently free")
+            yield Sample("repro_mempool_in_use", dict(labels),
+                         float(pool.in_use), "gauge",
+                         "mbufs currently allocated")
+            for counter in ("alloc_count", "free_count_total",
+                            "alloc_failures", "double_free_detected",
+                            "reclaim_sweeps", "reclaimed_total",
+                            "leaked_found_total", "leaked_permanent"):
+                yield Sample("repro_mempool_%s_total" % counter,
+                             dict(labels),
+                             float(getattr(pool, counter)), "counter",
+                             "mempool lifecycle counters")
+            for holder, count in sorted(pool.holders().items()):
+                holder_labels = dict(labels)
+                holder_labels["holder"] = holder
+                yield Sample("repro_mempool_held", holder_labels,
+                             float(count), "gauge",
+                             "mbufs charged to one ledger holder")
+
+        self.registry.register_collector(collect)
+
+    def register_repairer(self, repairer) -> None:
+        """Track a ChainRepairer: lifecycle counters, per-NF state, and
+        coverage events for every transition."""
+
+        def collect() -> Iterable[Sample]:
+            for counter in ("crashes_detected", "repairs_started",
+                            "repairs_succeeded", "repairs_failed",
+                            "demotions", "flows_replayed",
+                            "packets_flushed"):
+                yield Sample("repro_lifecycle_%s_total" % counter, {},
+                             float(getattr(repairer, counter)), "counter",
+                             "chain repairer lifecycle counters")
+            for record in repairer.records.values():
+                labels = {"nf": record.name, "state": record.state}
+                yield Sample("repro_lifecycle_nf_state", labels, 1.0,
+                             "gauge", "current per-NF repair state")
+                yield Sample("repro_lifecycle_nf_restarts_total",
+                             {"nf": record.name},
+                             float(record.restarts), "counter",
+                             "restart attempts consumed per NF")
+
+        self.registry.register_collector(collect)
+        coverage = self.registry.coverage
+        repairer.on_event.append(
+            lambda event, nf: coverage(
+                "lifecycle_%s" % event.replace("-", "_")))
 
     def register_resilience(self, counters) -> None:
         """Every ResilienceCounters field, one labeled sample each."""

@@ -17,18 +17,28 @@ from repro.orchestration.graph import (
 from repro.orchestration.nffg import NffgError, dump_nffg, load_nffg
 from repro.orchestration.node import NfvNode, VmHandle
 from repro.orchestration.orchestrator import Deployment, Orchestrator
+from repro.orchestration.repair import (
+    ChainRepairer,
+    DEFAULT_REPAIR_POLICY,
+    NfRecord,
+    RepairPolicy,
+)
 from repro.orchestration.validation import (
     InvariantViolation,
     verify_host_invariants,
 )
 
 __all__ = [
+    "ChainRepairer",
+    "DEFAULT_REPAIR_POLICY",
     "Deployment",
     "Endpoint",
     "GraphLink",
+    "NfRecord",
     "NffgError",
     "NfvNode",
     "Orchestrator",
+    "RepairPolicy",
     "ServiceGraph",
     "VmHandle",
     "VnfSpec",

@@ -118,9 +118,21 @@ class NfvNode:
         self.vms: Dict[str, VmHandle] = {}
         self.ports: Dict[str, object] = {}  # name -> OvsPort
         self.nics: Dict[str, Nic] = {}
+        # Ownership-tracked mempools feeding this node's traffic; the
+        # bypass manager sweeps dead holders out of these on a crash.
+        self.mempools: List = []
         self.obs.register_vswitchd(self.switch)
         if self.manager is not None:
             self.obs.register_manager(self.manager)
+
+    def track_mempool(self, pool) -> None:
+        """Register a pool for crash-time ledger reclamation + obs."""
+        if pool in self.mempools:
+            return
+        self.mempools.append(pool)
+        if self.manager is not None:
+            self.manager.mempools = self.mempools
+        self.obs.register_mempool(pool)
 
     # -- ports -----------------------------------------------------------------
 

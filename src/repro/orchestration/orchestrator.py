@@ -87,30 +87,65 @@ class Orchestrator:
     def _install_steering(self, graph: ServiceGraph,
                           deployment: Deployment) -> None:
         for link in graph.links:
-            src_port = graph.port_key(link.src)
-            dst_port = graph.port_key(link.dst)
-            priority = link.priority
-            if priority is None:
-                priority = (TOTAL_LINK_PRIORITY if link.is_total
-                            else CLASSIFIED_LINK_PRIORITY)
-            match = Match(
-                in_port=self.node.ofport(src_port),
-                **link.match_fields,
-            )
-            self.node.controller.install_flow(
-                match,
-                [OutputAction(self.node.ofport(dst_port))],
-                priority=priority,
-            )
-            deployment.installed_rules.append(link)
+            self.deploy_link(graph, link, deployment, settle=False)
         self.node.settle_control_plane(
             extra_time=0.15 * max(1, len(graph.links))
         )
 
-    def undeploy_link(self, graph: ServiceGraph, link: GraphLink) -> None:
-        """Remove one steering rule (triggers bypass teardown if any)."""
-        src_port = graph.port_key(link.src)
-        match = Match(in_port=self.node.ofport(src_port),
-                      **link.match_fields)
-        self.node.controller.delete_flow(match)
-        self.node.settle_control_plane(extra_time=0.1)
+    def _link_match(self, graph: ServiceGraph, link: GraphLink) -> Match:
+        return Match(
+            in_port=self.node.ofport(graph.port_key(link.src)),
+            **link.match_fields,
+        )
+
+    def deploy_link(self, graph: ServiceGraph, link: GraphLink,
+                    deployment: Optional[Deployment] = None,
+                    settle: bool = True) -> None:
+        """Install one steering rule (and record it on the deployment).
+
+        ``settle=False`` skips the control-plane settling run — required
+        when calling from inside a poll loop (the chain repairer), where
+        re-entering ``env.run`` is illegal; the caller's own simulated
+        time advance lets the flowmod land.
+        """
+        priority = link.priority
+        if priority is None:
+            priority = (TOTAL_LINK_PRIORITY if link.is_total
+                        else CLASSIFIED_LINK_PRIORITY)
+        self.node.controller.install_flow(
+            self._link_match(graph, link),
+            [OutputAction(self.node.ofport(graph.port_key(link.dst)))],
+            priority=priority,
+        )
+        if deployment is not None and link not in deployment.installed_rules:
+            deployment.installed_rules.append(link)
+        if settle:
+            self.node.settle_control_plane(extra_time=0.15)
+
+    def undeploy_link(self, graph: ServiceGraph, link: GraphLink,
+                      deployment: Optional[Deployment] = None,
+                      settle: bool = True) -> None:
+        """Remove one steering rule (triggers bypass teardown if any).
+
+        With a ``deployment`` the rule is also dropped from
+        ``installed_rules``, so undeploy + redeploy round-trips leave no
+        duplicate bookkeeping behind.
+        """
+        self.node.controller.delete_flow(self._link_match(graph, link))
+        if deployment is not None and link in deployment.installed_rules:
+            deployment.installed_rules.remove(link)
+        if settle:
+            self.node.settle_control_plane(extra_time=0.1)
+
+    def redeploy_link(self, graph: ServiceGraph, link: GraphLink,
+                      deployment: Optional[Deployment] = None,
+                      settle: bool = True) -> None:
+        """Delete + re-install one rule: the flow-replay primitive.
+
+        The delete invalidates exactly the cached fast-path entries the
+        rule produced (precise EMC invalidation), the re-install lets
+        the p-2-p detector see the rule afresh — which is how a repaired
+        VM gets its bypass re-established.
+        """
+        self.undeploy_link(graph, link, deployment, settle=False)
+        self.deploy_link(graph, link, deployment, settle=settle)

@@ -43,10 +43,18 @@ class Mbuf:
         "pool",
         "userdata",
         "trace",
+        "in_pool",
+        "holder",
     )
 
     def __init__(self, pool: Optional[Any] = None) -> None:
         self.pool = pool
+        # Ownership-ledger state, managed by the Mempool (never by
+        # reset(): the pool flips in_pool on get/put and moves holder
+        # on assign, and a stale value here is exactly the double-free
+        # evidence the pool wants to see).
+        self.in_pool = False
+        self.holder: Optional[str] = None
         self.packet: Any = None
         self.wire_length = 0
         self.port = -1

@@ -326,6 +326,62 @@ def bypass_health(manager=None) -> str:
     return "\n".join(lines)
 
 
+def chain_health(repairer=None) -> str:
+    """``appctl chain/health``: the chain repairer's per-NF view.
+
+    One row per VNF (state, restart budget consumed, crashes seen) plus
+    the lifecycle counters — the operator's answer to "is the service
+    whole, and what did the supervisor do about the last crash?".
+    """
+    if repairer is None:
+        return "chain repairer: not running"
+    lines = ["chain repairer: %d NF(s) supervised" % len(repairer.records)]
+    for name, state, restarts, crashes in repairer.rows():
+        lines.append(" %-12s state=%-8s restarts=%d/%d crashes=%d"
+                     % (name, state, restarts,
+                        repairer.policy.max_restarts, crashes))
+    lines.append("lifecycle counters:")
+    for counter in ("crashes_detected", "repairs_started",
+                    "repairs_succeeded", "repairs_failed", "demotions",
+                    "flows_replayed", "packets_flushed"):
+        lines.append(" %-24s %d" % (counter.replace("_", " "),
+                                    getattr(repairer, counter)))
+    return "\n".join(lines)
+
+
+def mempool_show(mempools=None) -> str:
+    """``appctl mempool/show``: pool occupancy and the ownership ledger.
+
+    Per pool: capacity, free/in-use split, lifecycle counters (including
+    double frees and reclamation sweeps), and one row per ledger holder
+    with its in-flight mbuf count.
+    """
+    if not mempools:
+        return "mempools: none tracked"
+    lines = []
+    for pool in mempools:
+        lines.append(
+            "%s: size=%d available=%d in_use=%d"
+            % (pool.name, pool.size, pool.available, pool.in_use))
+        lines.append(
+            " allocs=%d frees=%d alloc_failures=%d double_frees=%d"
+            % (pool.alloc_count, pool.free_count_total,
+               pool.alloc_failures, pool.double_free_detected))
+        lines.append(
+            " reclaim: sweeps=%d reclaimed=%d leaked_found=%d "
+            "leaked_permanent=%d"
+            % (pool.reclaim_sweeps, pool.reclaimed_total,
+               pool.leaked_found_total, pool.leaked_permanent))
+        holders = pool.holders()
+        if holders:
+            for holder in sorted(holders):
+                lines.append(" holder %-28s %d mbuf(s)"
+                             % (holder, holders[holder]))
+        else:
+            lines.append(" ledger: no in-flight holders")
+    return "\n".join(lines)
+
+
 def pmd_rxq_show(vswitchd: VSwitchd) -> str:
     """``appctl dpif-netdev/pmd-rxq-show``: per-core port placement.
 
@@ -571,10 +627,13 @@ def trace_dump(obs=None, limit: int = 10) -> str:
 class AppCtl:
     """Dispatcher bundling the commands (an ovs-appctl socket stand-in)."""
 
-    def __init__(self, vswitchd: VSwitchd, manager=None, obs=None) -> None:
+    def __init__(self, vswitchd: VSwitchd, manager=None, obs=None,
+                 repairer=None, mempools=None) -> None:
         self.vswitchd = vswitchd
         self.manager = manager
         self.obs = obs
+        self.repairer = repairer
+        self.mempools = mempools
 
     def run(self, command: str, argument: str = "") -> str:
         handlers = {
@@ -610,6 +669,8 @@ class AppCtl:
                                                self.manager),
             "bypass/faults": lambda: bypass_faults(self.manager),
             "bypass/health": lambda: bypass_health(self.manager),
+            "chain/health": lambda: chain_health(self.repairer),
+            "mempool/show": lambda: mempool_show(self.mempools),
         }
         handler = handlers.get(command)
         if handler is None:

@@ -1,0 +1,211 @@
+"""The mempool ownership ledger: who holds each in-flight mbuf.
+
+A fixed-size pool turns leaks into allocation failures — but only the
+ledger says *whose* leak it was.  These tests pin the ledger mechanics
+(assign / holders / reclaim and the per-mbuf double-free detector) and
+the two hot-path touchpoints that feed it: rings with a
+``holder_token`` charge on enqueue, and guest PMDs re-charge to
+``"vm:<name>"`` on rx.
+"""
+
+import pytest
+
+from repro.mem import Mempool, MempoolDoubleFreeError, Ring
+from repro.orchestration import NfvNode
+
+from tests.helpers import mk_mbuf
+
+
+class TestLedgerBasics:
+    def test_assign_moves_between_holders(self):
+        pool = Mempool("p", size=8)
+        mbuf = pool.get()
+        pool.assign(mbuf, "ring:a")
+        assert pool.holders() == {"ring:a": 1}
+        pool.assign(mbuf, "vm:b")
+        assert mbuf.holder == "vm:b"
+        assert pool.held_by("ring:a") == 0
+        assert pool.held_by("vm:b") == 1
+        mbuf.free()
+
+    def test_put_clears_ledger_entry(self):
+        pool = Mempool("p", size=8)
+        mbuf = pool.get()
+        pool.assign(mbuf, "vm:x")
+        mbuf.free()
+        assert mbuf.holder is None
+        assert pool.holders() == {}
+        assert pool.available == 8
+
+    def test_untracked_pool_ignores_assign(self):
+        pool = Mempool("p", size=8, track_ownership=False)
+        mbuf = pool.get()
+        pool.assign(mbuf, "vm:x")
+        assert mbuf.holder is None
+        assert pool.holders() == {}
+        mbuf.free()
+
+    def test_reassign_to_same_holder_is_noop(self):
+        pool = Mempool("p", size=8)
+        mbuf = pool.get()
+        pool.assign(mbuf, "vm:x")
+        pool.assign(mbuf, "vm:x")
+        assert pool.held_by("vm:x") == 1
+        mbuf.free()
+
+
+class TestDoubleFree:
+    def test_put_twice_raises_and_counts(self):
+        pool = Mempool("p", size=8)
+        mbuf = pool.get()
+        pool.put(mbuf)
+        with pytest.raises(MempoolDoubleFreeError):
+            pool.put(mbuf)
+        assert pool.double_free_detected == 1
+        # The pool books stayed consistent: one free, all mbufs home.
+        assert pool.available == 8
+        assert pool.free_count_total == 1
+
+    def test_specific_mbuf_caught_while_others_in_flight(self):
+        # The old aggregate guard only fired once the pool was *full*;
+        # the per-mbuf flag must catch the exact descriptor even when
+        # other buffers are still out.
+        pool = Mempool("p", size=8)
+        out = pool.get_bulk(4)
+        victim = out[0]
+        victim.free()
+        with pytest.raises(MempoolDoubleFreeError):
+            pool.put(victim)
+        for mbuf in out[1:]:
+            mbuf.free()
+        assert pool.available == 8
+
+    def test_foreign_mbuf_rejected(self):
+        pool_a = Mempool("a", size=4)
+        pool_b = Mempool("b", size=4)
+        mbuf = pool_a.get()
+        with pytest.raises(ValueError):
+            pool_b.put(mbuf)
+        mbuf.free()
+
+
+class TestReclaim:
+    def test_reclaim_returns_dead_holders_buffers(self):
+        pool = Mempool("p", size=16)
+        for _ in range(5):
+            pool.assign(pool.get(), "vm:dead")
+        report = pool.reclaim("vm:dead")
+        assert (report.leaked, report.reclaimed) == (5, 5)
+        assert report.double_free_detected == 0
+        assert report.unreclaimable == 0
+        assert pool.available == 16
+        assert pool.in_use == 0
+        assert pool.reclaimed_total == 5
+        assert pool.leaked_found_total == 5
+        assert pool.leaked_permanent == 0
+
+    def test_reclaim_unknown_owner_is_empty(self):
+        pool = Mempool("p", size=4)
+        report = pool.reclaim("vm:ghost")
+        assert report.leaked == 0
+        assert pool.reclaim_sweeps == 1
+
+    def test_reclaim_skips_referenced_buffers(self):
+        pool = Mempool("p", size=8)
+        mbuf = pool.get()
+        pool.assign(mbuf, "vm:dead")
+        mbuf.retain()  # someone else still references it
+        report = pool.reclaim("vm:dead")
+        assert report.unreclaimable == 1
+        assert report.reclaimed == 0
+        assert pool.leaked_permanent == 1
+        assert pool.in_use == 1  # honestly reported as lost, not hidden
+
+    def test_reclaim_report_invariant(self):
+        pool = Mempool("p", size=16)
+        clean = [pool.get() for _ in range(3)]
+        pinned = pool.get()
+        for mbuf in clean + [pinned]:
+            pool.assign(mbuf, "vm:dead")
+        pinned.retain()
+        report = pool.reclaim("vm:dead")
+        assert report.leaked == (report.reclaimed
+                                 + report.double_free_detected
+                                 + report.unreclaimable)
+        assert (report.reclaimed, report.unreclaimable) == (3, 1)
+
+    def test_reclaimed_buffers_are_reallocatable(self):
+        pool = Mempool("p", size=2)
+        for _ in range(2):
+            pool.assign(pool.get(), "vm:dead")
+        with pytest.raises(Exception):
+            pool.get()  # exhausted by the "crashed" holder
+        pool.reclaim("vm:dead")
+        again = pool.get_bulk(2)
+        assert len(again) == 2
+        for mbuf in again:
+            mbuf.free()
+
+
+class TestRingCharging:
+    def test_tokenized_ring_charges_on_enqueue(self):
+        pool = Mempool("p", size=16)
+        ring = Ring("bz.to_guest", capacity=8)
+        ring.holder_token = "ring:bz"
+        mbufs = [mk_mbuf(pool=pool) for _ in range(3)]
+        for mbuf in mbufs:
+            ring.enqueue(mbuf)
+        assert pool.held_by("ring:bz") == 3
+        # Draining does not discharge by itself — the next touchpoint
+        # (a PMD, or free) moves or clears the entry.
+        out = ring.dequeue_burst(8)
+        for mbuf in out:
+            mbuf.free()
+        assert pool.holders() == {}
+
+    def test_untokenized_ring_stays_off_the_ledger(self):
+        pool = Mempool("p", size=16)
+        ring = Ring("plain", capacity=8)
+        mbuf = mk_mbuf(pool=pool)
+        ring.enqueue(mbuf)
+        assert pool.holders() == {}
+        ring.dequeue().free()
+
+
+class TestDataPathCharging:
+    def test_pmd_rx_charges_vm_and_sink_free_discharges(self):
+        node = NfvNode()
+        node.create_vm("vm1", ["dpdkr0"])
+        node.create_vm("vm2", ["dpdkr1"])
+        node.install_p2p_rule("dpdkr0", "dpdkr1")
+        node.settle_control_plane()
+        pool = Mempool("traffic", size=64)
+        node.track_mempool(pool)
+        sender = node.vms["vm1"].pmd("dpdkr0")
+        receiver = node.vms["vm2"].pmd("dpdkr1")
+        batch = [mk_mbuf(pool=pool) for _ in range(4)]
+        assert sender.tx_burst(batch) == 4
+        # In the bypass ring: charged to the zone's ring token.
+        holders = pool.holders()
+        assert list(holders.values()) == [4]
+        (ring_token,) = holders
+        assert ring_token.startswith("ring:")
+        got = receiver.rx_burst(32)
+        assert got == batch
+        # Received by the guest: re-charged to the consumer VM.
+        assert pool.holders() == {"vm:vm2": 4}
+        for mbuf in got:
+            mbuf.free()
+        assert pool.holders() == {}
+        assert pool.in_use == 0
+
+    def test_node_tracks_pool_for_manager_and_obs(self):
+        node = NfvNode()
+        pool = Mempool("traffic", size=8)
+        node.track_mempool(pool)
+        node.track_mempool(pool)  # idempotent
+        assert node.mempools == [pool]
+        assert node.manager.mempools == [pool]
+        assert node.obs.registry.sample_value(
+            "repro_mempool_size", {"pool": "traffic"}
+        ) == 8

@@ -193,3 +193,45 @@ class TestOrchestrator:
         orchestrator = Orchestrator(node)
         orchestrator.undeploy_link(graph, graph.links[0])
         assert node.active_bypasses == 1
+
+    def test_undeploy_link_updates_deployment_books(self):
+        node = NfvNode()
+        graph = self.build_chain_graph(2)
+        orchestrator = Orchestrator(node)
+        deployment = orchestrator.deploy(graph)
+        assert len(deployment.installed_rules) == 2
+        link = graph.links[0]
+        orchestrator.undeploy_link(graph, link, deployment)
+        assert link not in deployment.installed_rules
+        assert len(node.switch.bridge.table) == 1
+        # Undeploying an already-removed link is a no-op, not an error.
+        orchestrator.undeploy_link(graph, link, deployment)
+        assert len(deployment.installed_rules) == 1
+
+    def test_redeploy_link_does_not_duplicate_state(self):
+        node = NfvNode()
+        graph = self.build_chain_graph(2)
+        orchestrator = Orchestrator(node)
+        deployment = orchestrator.deploy(graph)
+        link = graph.links[0]
+        for _ in range(3):
+            orchestrator.redeploy_link(graph, link, deployment)
+        # One flow per link and one bookkeeping entry per link — the
+        # replays left no duplicates behind.
+        assert len(node.switch.bridge.table) == 2
+        assert deployment.installed_rules.count(link) == 1
+        assert len(deployment.installed_rules) == 2
+        # The bypass survived the replay cycle (fresh detection).
+        assert node.active_bypasses == 2
+
+    def test_redeploy_after_undeploy_restores_bypass(self):
+        node = NfvNode()
+        graph = self.build_chain_graph(2)
+        orchestrator = Orchestrator(node)
+        deployment = orchestrator.deploy(graph)
+        link = graph.links[0]
+        orchestrator.undeploy_link(graph, link, deployment)
+        assert node.active_bypasses == 1
+        orchestrator.redeploy_link(graph, link, deployment)
+        assert node.active_bypasses == 2
+        assert len(deployment.installed_rules) == 2

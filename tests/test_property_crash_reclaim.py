@@ -1,0 +1,117 @@
+"""Property: crashes under load never leak mbufs.
+
+The acceptance invariant of the crash-lifecycle work: whatever the
+crash schedule, once the node quiesces every mbuf is back in its pool
+(``in_use == 0``) and nothing was written off (``leaked_permanent ==
+0``).  Hypothesis draws the crash times; a 3-NF chain (source →
+forwarder → sink) runs under load, the middle NF is killed abruptly at
+each drawn instant, and the :class:`ChainRepairer` puts it back.
+
+Also: pure ledger churn (assign/free/reclaim in any order) conserves
+buffers without touching the simulator at all.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import ForwarderApp
+from repro.mem import Mempool
+from repro.orchestration import (
+    ChainRepairer,
+    NfvNode,
+    Orchestrator,
+    RepairPolicy,
+    ServiceGraph,
+)
+from repro.sim.engine import Environment
+from repro.traffic import SinkApp, SourceApp
+
+FAST_REPAIR = RepairPolicy(poll_interval=0.002, max_restarts=50,
+                           base_backoff=0.002, max_backoff=0.01)
+
+crash_schedules = st.lists(
+    st.floats(min_value=0.01, max_value=0.06), min_size=1, max_size=4
+)
+
+
+def build_chain():
+    graph = ServiceGraph("pipeline")
+    graph.add_vnf("src", ["p0"], app_factory=lambda pmds: SourceApp(
+        "src.app", pmds["p0"], pool_size=256, rate_pps=5e4))
+    graph.add_vnf("mid", ["p0", "p1"], app_factory=lambda pmds:
+                  ForwarderApp("mid.app", pmds["p0"], pmds["p1"]))
+    graph.add_vnf("snk", ["p0"], app_factory=lambda pmds: SinkApp(
+        "snk.app", pmds["p0"]))
+    graph.connect("src.p0", "mid.p0")
+    graph.connect("mid.p1", "snk.p0")
+    return graph
+
+
+@settings(max_examples=10, deadline=None)
+@given(crash_schedules)
+def test_crashes_under_load_conserve_mbufs(delays):
+    env = Environment()
+    node = NfvNode(env=env)
+    orchestrator = Orchestrator(node)
+    deployment = orchestrator.deploy(build_chain())
+    deployment.start_apps(env)
+    source = deployment.apps["src"]
+    node.track_mempool(source.pool)
+    repairer = ChainRepairer(orchestrator, deployment, FAST_REPAIR)
+    repairer.start(env)
+    crashes = 0
+    for delay in delays:
+        env.run(until=env.now + delay)
+        if "mid" in node.hypervisor.vms:
+            node.hypervisor.crash_vm("mid")
+            crashes += 1
+    assert crashes >= 1
+    # Let the repairer finish, then quiesce: stop the source, drain.
+    env.run(until=env.now + 0.3)
+    source.stop()
+    env.run(until=env.now + 0.3)
+    repairer.stop()
+    deployment.stop_apps()
+    assert repairer.records["mid"].state == "running"
+    assert repairer.repairs_succeeded == crashes
+    pool = source.pool
+    assert pool.in_use == 0
+    assert pool.leaked_permanent == 0
+    assert pool.holders() == {}
+
+
+ledger_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("get"), st.just(0)),
+        st.tuples(st.just("assign"), st.integers(0, 3)),
+        st.tuples(st.just("free"), st.just(0)),
+        st.tuples(st.just("reclaim"), st.integers(0, 3)),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ledger_ops)
+def test_ledger_churn_conserves_buffers(ops):
+    pool = Mempool("model", size=16)
+    out = []
+    for op, arg in ops:
+        if op == "get":
+            mbuf = pool.try_get()
+            if mbuf is not None:
+                out.append(mbuf)
+        elif op == "assign" and out:
+            pool.assign(out[arg % len(out)], "holder:%d" % arg)
+        elif op == "free" and out:
+            out.pop().free()
+        elif op == "reclaim":
+            report = pool.reclaim("holder:%d" % arg)
+            assert report.leaked == (report.reclaimed
+                                     + report.double_free_detected
+                                     + report.unreclaimable)
+            out = [m for m in out if not m.in_pool]
+        # Conservation: free list + tracked in-flight == capacity.
+        assert pool.available + len(out) == pool.size
+        assert sum(pool.holders().values()) <= len(out)
+    assert pool.leaked_permanent == 0
