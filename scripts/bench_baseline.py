@@ -1,330 +1,19 @@
 #!/usr/bin/env python
-"""Fast-path performance baseline: vectorized vs scalar, precise vs
-generation-wipe EMC invalidation.
+"""Fast-path baseline benchmark (family ``fastpath``).
 
-Runs a small, deterministic set of workloads and writes one JSON
-document (schema ``repro-bench-fastpath/1``) that records throughput,
-PMD cycles/packet, cache hit rates and flow-batch fill — the numbers
-``docs/PERFORMANCE.md`` explains how to read.  The committed
-``BENCH_fastpath.json`` at the repo root is the output of a full
-(non ``--quick``) run.
+Thin wrapper over :mod:`repro.bench.workloads.fastpath`, which owns the
+measurement code; this script keeps the historical entry point and CLI.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_baseline.py            # full run
     PYTHONPATH=src python scripts/bench_baseline.py --quick --check
     PYTHONPATH=src python scripts/bench_baseline.py --validate BENCH_fastpath.json
-
-``--check`` enforces the baseline invariants (vectorized strictly
-cheaper per packet than scalar, precise invalidation strictly better
-than generation wipe, bypass beating vanilla) and exits non-zero if any
-fails; ``--validate`` schema-checks an existing document instead of
-running anything.
 """
 
-import argparse
-import json
 import sys
 
-from repro.experiments import ChainExperiment
-from repro.obs.cycles import seconds_to_cycles
-from repro.openflow.actions import OutputAction
-from repro.openflow.match import Match
-from repro.openflow.table import FlowEntry
-from repro.packet.builder import make_udp_packet
-from repro.packet.mbuf import Mbuf
-from repro.vswitch.vswitchd import VSwitchd
-
-SCHEMA = "repro-bench-fastpath/1"
-
-LOOKUP_STAGES = ("emc_lookup", "smc_lookup", "classifier_lookup",
-                 "miss_upcall")
-
-
-# -- measurement helpers ------------------------------------------------------
-
-
-def pmd_cycles_per_packet(experiment):
-    """Busy PMD cycles per switch traversal over the measurement window.
-
-    Busy time comes from the poll loops (the accounting authority; reset
-    at warmup end), the packet denominator from the per-core stage
-    tables (also reset at warmup end): every packet the switch handles
-    passes exactly one lookup stage per traversal.
-    """
-    report = experiment.node.switch.pmd_cycle_report()
-    busy = sum(loop.busy_time for loop in report.loops)
-    packets = 0
-    for _loop, stages in report.loop_rows():
-        if stages is None:
-            continue
-        for stage in LOOKUP_STAGES:
-            packets += stages.packets.get(stage, 0)
-    if not packets:
-        return 0.0
-    return seconds_to_cycles(busy) / packets
-
-
-def hit_rate(hits, misses):
-    total = hits + misses
-    return hits / total if total else 0.0
-
-
-def chain_fastpath(vectorized, duration, flows=64, burst_size=32):
-    """One vanilla (all hops through OVS) fig3a-style memory chain."""
-    experiment = ChainExperiment(
-        num_vms=3, bypass=False, memory_only=True, duration=duration,
-        flows=flows, burst_size=burst_size, vectorized=vectorized,
-    )
-    result = experiment.run()
-    datapath = experiment.node.switch.datapath
-    return {
-        "vectorized": vectorized,
-        "flows": flows,
-        "burst_size": burst_size,
-        "throughput_mpps": round(result.throughput_mpps, 4),
-        "cycles_per_packet": round(pmd_cycles_per_packet(experiment), 2),
-        "emc_hit_rate": round(datapath.emc.hit_rate, 4),
-        "smc_hit_rate": round(datapath.smc.hit_rate, 4),
-        "avg_batch_fill": round(datapath.avg_batch_fill, 3),
-        "batch_fill_histogram": {
-            str(fill): count
-            for fill, count in sorted(datapath.batch_fill_counts.items())
-        },
-        "packets_processed": datapath.packets_processed,
-    }
-
-
-def emc_invalidation_workload(mode, bursts, flows=32, burst_size=32,
-                              churn_every=4):
-    """Rolling-flowmod workload: steady traffic over ``flows`` UDP flows
-    while unrelated rules are added and deleted every ``churn_every``
-    bursts.  Precise invalidation keeps the traffic's EMC entries alive
-    across the churn; generation wipe loses the whole cache each time.
-    """
-    switch = VSwitchd(name="bench-emc-%s" % mode)
-    switch.datapath.emc_invalidation = mode
-    rx = switch.add_dpdkr_port("rx")
-    tx = switch.add_dpdkr_port("tx")
-    switch.bridge.table.add(FlowEntry(
-        Match(in_port=rx.ofport), [OutputAction(tx.ofport)], priority=10,
-    ))
-    churn_match = Match(in_port=tx.ofport)  # never hit by the traffic
-    packets = [make_udp_packet(src_port=5000 + index)
-               for index in range(flows)]
-    sent = 0
-    for burst in range(bursts):
-        if burst and burst % churn_every == 0:
-            entry = FlowEntry(churn_match, [], priority=5)
-            switch.bridge.table.add(entry)
-            switch.bridge.table.delete(churn_match, strict=True, priority=5)
-        for _ in range(burst_size):
-            mbuf = Mbuf()
-            mbuf.packet = packets[sent % flows]
-            mbuf.wire_length = mbuf.packet.wire_length
-            rx.rings.to_switch.enqueue(mbuf)
-            sent += 1
-        switch.step_dataplane()
-        tx.rings.to_guest.dequeue_burst(burst_size)
-    emc = switch.datapath.emc
-    return {
-        "invalidation": mode,
-        "flows": flows,
-        "bursts": bursts,
-        "flowmods": 2 * ((bursts - 1) // churn_every),
-        "emc_hit_rate": round(emc.hit_rate, 4),
-        "emc_hits": emc.hits,
-        "emc_misses": emc.misses,
-        "precise_evictions": emc.precise_evictions,
-    }
-
-
-def chain_pair(duration, memory_only, measure):
-    out = {}
-    for bypass in (False, True):
-        result = ChainExperiment(
-            num_vms=3 if memory_only else 2, bypass=bypass,
-            memory_only=memory_only, duration=duration,
-        ).run()
-        out["bypass" if bypass else "vanilla"] = measure(result)
-    return out
-
-
-# -- checks -------------------------------------------------------------------
-
-
-def run_checks(doc):
-    """The baseline invariants; each returns (name, passed, detail)."""
-    fast = doc["workloads"]["fig3a_fastpath"]
-    vec, scalar = fast["vectorized"], fast["scalar"]
-    inval = doc["workloads"]["emc_invalidation"]
-    fig3b = doc["workloads"]["fig3b_nic_chain"]
-    latency = doc["workloads"]["latency_chain"]
-    checks = [
-        ("vectorized_cycles_per_packet_lower",
-         vec["cycles_per_packet"] < scalar["cycles_per_packet"],
-         "%.2f < %.2f" % (vec["cycles_per_packet"],
-                          scalar["cycles_per_packet"])),
-        ("vectorized_throughput_not_worse",
-         vec["throughput_mpps"] >= scalar["throughput_mpps"],
-         "%.4f >= %.4f" % (vec["throughput_mpps"],
-                           scalar["throughput_mpps"])),
-        ("precise_invalidation_higher_hit_rate",
-         inval["precise"]["emc_hit_rate"]
-         > inval["generation"]["emc_hit_rate"],
-         "%.4f > %.4f" % (inval["precise"]["emc_hit_rate"],
-                          inval["generation"]["emc_hit_rate"])),
-        ("bypass_beats_vanilla_nic_chain",
-         fig3b["bypass"]["throughput_mpps"]
-         > fig3b["vanilla"]["throughput_mpps"],
-         "%.4f > %.4f" % (fig3b["bypass"]["throughput_mpps"],
-                          fig3b["vanilla"]["throughput_mpps"])),
-        ("bypass_cuts_latency",
-         latency["bypass"]["mean_latency_us"]
-         < latency["vanilla"]["mean_latency_us"],
-         "%.2f < %.2f" % (latency["bypass"]["mean_latency_us"],
-                          latency["vanilla"]["mean_latency_us"])),
-    ]
-    return checks
-
-
-# -- schema -------------------------------------------------------------------
-
-REQUIRED_FASTPATH_KEYS = {
-    "vectorized", "flows", "burst_size", "throughput_mpps",
-    "cycles_per_packet", "emc_hit_rate", "smc_hit_rate",
-    "avg_batch_fill", "batch_fill_histogram", "packets_processed",
-}
-REQUIRED_INVALIDATION_KEYS = {
-    "invalidation", "flows", "bursts", "flowmods", "emc_hit_rate",
-    "emc_hits", "emc_misses", "precise_evictions",
-}
-
-
-def validate(doc):
-    """Structural schema check; returns a list of problems (empty = ok)."""
-    problems = []
-    if doc.get("schema") != SCHEMA:
-        problems.append("schema != %s" % SCHEMA)
-    workloads = doc.get("workloads", {})
-    for name in ("fig3a_fastpath", "emc_invalidation", "fig3b_nic_chain",
-                 "latency_chain"):
-        if name not in workloads:
-            problems.append("missing workload %s" % name)
-    fast = workloads.get("fig3a_fastpath", {})
-    for variant in ("vectorized", "scalar"):
-        missing = REQUIRED_FASTPATH_KEYS - set(fast.get(variant, {}))
-        if missing:
-            problems.append("fig3a_fastpath.%s missing %s"
-                            % (variant, sorted(missing)))
-    inval = workloads.get("emc_invalidation", {})
-    for variant in ("precise", "generation"):
-        missing = REQUIRED_INVALIDATION_KEYS - set(inval.get(variant, {}))
-        if missing:
-            problems.append("emc_invalidation.%s missing %s"
-                            % (variant, sorted(missing)))
-    for name in ("fig3b_nic_chain", "latency_chain"):
-        for variant in ("vanilla", "bypass"):
-            if variant not in workloads.get(name, {}):
-                problems.append("%s missing %s" % (name, variant))
-    if not isinstance(doc.get("checks"), list) or not doc["checks"]:
-        problems.append("missing checks")
-    return problems
-
-
-# -- driver -------------------------------------------------------------------
-
-
-def run_baseline(quick):
-    chain_duration = 0.001 if quick else 0.003
-    churn_bursts = 64 if quick else 256
-    doc = {
-        "schema": SCHEMA,
-        "config": {
-            "quick": quick,
-            "chain_duration_s": chain_duration,
-            "churn_bursts": churn_bursts,
-        },
-        "workloads": {},
-    }
-    workloads = doc["workloads"]
-
-    print("[1/4] fig3a memory chain, vectorized vs scalar "
-          "(3 VMs, 64 flows, burst 32)...", file=sys.stderr)
-    workloads["fig3a_fastpath"] = {
-        "vectorized": chain_fastpath(True, chain_duration),
-        "scalar": chain_fastpath(False, chain_duration),
-    }
-
-    print("[2/4] EMC invalidation under rolling flowmods...",
-          file=sys.stderr)
-    workloads["emc_invalidation"] = {
-        "precise": emc_invalidation_workload("precise", churn_bursts),
-        "generation": emc_invalidation_workload("generation", churn_bursts),
-    }
-
-    print("[3/4] fig3b NIC chain, bypass vs vanilla...", file=sys.stderr)
-    workloads["fig3b_nic_chain"] = chain_pair(
-        chain_duration, memory_only=False,
-        measure=lambda result: {
-            "throughput_mpps": round(result.throughput_mpps, 4),
-        },
-    )
-
-    print("[4/4] chain latency, bypass vs vanilla...", file=sys.stderr)
-    workloads["latency_chain"] = chain_pair(
-        chain_duration, memory_only=True,
-        measure=lambda result: {
-            "mean_latency_us": round(result.mean_latency * 1e6, 3),
-        },
-    )
-
-    doc["checks"] = [
-        {"name": name, "passed": passed, "detail": detail}
-        for name, passed, detail in run_checks(doc)
-    ]
-    return doc
-
-
-def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_fastpath.json",
-                        help="output JSON path (default: %(default)s)")
-    parser.add_argument("--quick", action="store_true",
-                        help="reduced budget (CI smoke)")
-    parser.add_argument("--check", action="store_true",
-                        help="exit non-zero if a baseline invariant fails")
-    parser.add_argument("--validate", metavar="PATH",
-                        help="schema-check an existing document and exit")
-    args = parser.parse_args(argv)
-
-    if args.validate:
-        with open(args.validate) as handle:
-            doc = json.load(handle)
-        problems = validate(doc)
-        for problem in problems:
-            print("INVALID: %s" % problem, file=sys.stderr)
-        print("%s: %s" % (args.validate,
-                          "invalid" if problems else "valid (%s)" % SCHEMA))
-        return 1 if problems else 0
-
-    doc = run_baseline(args.quick)
-    problems = validate(doc)
-    if problems:  # the generator must always satisfy its own schema
-        for problem in problems:
-            print("INTERNAL SCHEMA ERROR: %s" % problem, file=sys.stderr)
-        return 2
-    with open(args.out, "w") as handle:
-        json.dump(doc, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print("wrote %s" % args.out)
-    for check in doc["checks"]:
-        status = "PASS" if check["passed"] else "FAIL"
-        print("  %-40s %s  (%s)" % (check["name"], status, check["detail"]))
-    if args.check and not all(check["passed"] for check in doc["checks"]):
-        return 1
-    return 0
-
+from repro.bench.cli import script_main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(script_main("fastpath"))

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare the newest trend lines against
+history and fail on regressions.
+
+Reads ``BENCH_TRENDS.jsonl`` (every line schema-checked), splits it into
+the *current* run group — the lines carrying the newest git sha, or an
+explicit ``--current`` file — and the *baseline* history, then compares
+each headline metric against the median of the last ``--window``
+comparable runs (same scenario, same quick/full sizing).
+
+Metric direction follows the naming convention the workloads share:
+
+* **higher is better**: ``*mpps``, ``*pps``, ``*rate``, ``*ratio``,
+  ``*gain*``, ``*preserved*``;
+* **lower is better**: ``*_us``, ``*_s``/``*seconds*``, ``*loss*``,
+  ``*drop*``, ``*cycles*``;
+* anything else is informational and never gated.
+
+A metric regresses when it falls outside the tolerance band around the
+baseline median (default 10%).  A current line whose ``checks_passed``
+is false fails outright.  Scenarios with no comparable history pass
+with a note — the first run creates the baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_gate.py                   # gate HEAD
+    PYTHONPATH=src python scripts/bench_gate.py --trends ci.jsonl \
+        --current new.jsonl --tolerance 0.15
+"""
+
+import argparse
+import sys
+
+from repro.bench.schema import (
+    TRENDS_BASENAME,
+    read_trend_lines,
+    tail_by_scenario,
+    validate_trend_file,
+    validate_trend_line,
+)
+
+HIGHER_TOKENS = ("mpps", "pps", "rate", "ratio", "gain", "preserved")
+LOWER_TOKENS = ("_us", "seconds", "loss", "drop", "cycles")
+
+
+def metric_direction(name):
+    """``higher`` / ``lower`` / ``neutral`` from the metric's name.
+
+    A throughput unit suffix decides first (``zero_loss_pps`` measures
+    rate, not loss); otherwise lower-is-better tokens win ties
+    (``loss_rate`` is a loss first).
+    """
+    lowered = name.lower()
+    if lowered.endswith(("mpps", "pps")):
+        return "higher"
+    if lowered.endswith("_s") or any(token in lowered
+                                     for token in LOWER_TOKENS):
+        return "lower"
+    if any(token in lowered for token in HIGHER_TOKENS):
+        return "higher"
+    return "neutral"
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def gate_line(current, history, window, tolerance):
+    """Judge one current trend line; returns (problems, notes)."""
+    problems, notes = [], []
+    scenario = current.get("scenario", "?")
+    if not current.get("checks_passed"):
+        problems.append("%s: checks_passed is false" % scenario)
+    baseline = tail_by_scenario(history, scenario,
+                                quick=current.get("quick"),
+                                window=window)
+    if not baseline:
+        notes.append("%s: no comparable history (baseline created)"
+                     % scenario)
+        return problems, notes
+    for name, value in sorted(current.get("metrics", {}).items()):
+        direction = metric_direction(name)
+        if direction == "neutral":
+            continue
+        samples = [line["metrics"][name] for line in baseline
+                   if isinstance(line.get("metrics", {}).get(name),
+                                 (int, float))]
+        if not samples:
+            notes.append("%s.%s: new metric (no history)"
+                         % (scenario, name))
+            continue
+        base = median(samples)
+        # Sentinel/zero baselines give no meaningful band; report only.
+        if base <= 0:
+            notes.append("%s.%s: baseline %g not gateable"
+                         % (scenario, name, base))
+            continue
+        if direction == "lower" and value > base * (1 + tolerance):
+            problems.append(
+                "%s.%s regressed: %g > baseline %g +%d%%"
+                % (scenario, name, value, base, tolerance * 100))
+        elif direction == "higher" and value < base * (1 - tolerance):
+            problems.append(
+                "%s.%s regressed: %g < baseline %g -%d%%"
+                % (scenario, name, value, base, tolerance * 100))
+    return problems, notes
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--trends", default=TRENDS_BASENAME,
+                        help="trend history file (default: %(default)s)")
+    parser.add_argument("--current", metavar="PATH", default=None,
+                        help="JSONL of the lines to judge (default: the "
+                             "newest git sha's lines inside --trends)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="baseline runs per scenario "
+                             "(default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative drift "
+                             "(default: %(default)s)")
+    parser.add_argument("--schema-only", action="store_true",
+                        help="validate the trend file and exit")
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+    if args.window < 1:
+        parser.error("--window must be >= 1")
+
+    schema_problems = validate_trend_file(args.trends)
+    if schema_problems:
+        for problem in schema_problems:
+            print("SCHEMA: %s" % problem, file=sys.stderr)
+        return 2
+    history = read_trend_lines(args.trends)
+    if args.schema_only:
+        print("%s: %d valid trend line(s)" % (args.trends, len(history)))
+        return 0
+
+    if args.current:
+        current_problems = validate_trend_file(args.current)
+        if current_problems:
+            for problem in current_problems:
+                print("SCHEMA: %s" % problem, file=sys.stderr)
+            return 2
+        current_lines = read_trend_lines(args.current)
+    else:
+        newest_sha = history[-1].get("git_sha")
+        current_lines = [line for line in history
+                         if line.get("git_sha") == newest_sha]
+        history = [line for line in history
+                   if line.get("git_sha") != newest_sha]
+        print("gating %d line(s) at sha %.12s against %d history "
+              "line(s)" % (len(current_lines), newest_sha,
+                           len(history)))
+    for line in current_lines:
+        problems = validate_trend_line(line)
+        if problems:
+            for problem in problems:
+                print("SCHEMA: %s" % problem, file=sys.stderr)
+            return 2
+
+    all_problems, all_notes = [], []
+    for line in current_lines:
+        problems, notes = gate_line(line, history, args.window,
+                                    args.tolerance)
+        all_problems.extend(problems)
+        all_notes.extend(notes)
+    for note in all_notes:
+        print("NOTE: %s" % note)
+    for problem in all_problems:
+        print("REGRESSION: %s" % problem, file=sys.stderr)
+    verdict = "FAIL" if all_problems else "PASS"
+    print("%s: %d scenario line(s), %d regression(s), tolerance %d%%, "
+          "window %d" % (verdict, len(current_lines),
+                         len(all_problems), args.tolerance * 100,
+                         args.window))
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,270 +1,19 @@
 #!/usr/bin/env python
-"""PMD scheduler benchmark: static hash vs measured-load rebalancing.
+"""PMD rxq scheduler benchmark (family ``sched``).
 
-Builds one vSwitch with four PMD cores and eight receive ports carrying
-a Zipf-skewed load whose two hottest ports collide on the same core
-under the static ``ofport % n_cores`` hash.  Three variants:
-
-* ``static``   — the round-robin hash, left alone (the baseline);
-* ``cycles``   — same adversarial start, then one manual
-  ``pmd-rxq-assign=cycles`` rebalance from measured load after warmup;
-* ``auto_lb``  — same start, the auto load balancer detects the
-  overloaded core and rebalances live during traffic.
-
-Writes one JSON document (schema ``repro-bench-sched/1``); the
-committed ``BENCH_sched.json`` at the repo root is the output of a full
-(non ``--quick``) run.
+Thin wrapper over :mod:`repro.bench.workloads.sched`, which owns the
+measurement code; this script keeps the historical entry point and CLI.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_rebalance.py            # full run
     PYTHONPATH=src python scripts/bench_rebalance.py --quick --check
     PYTHONPATH=src python scripts/bench_rebalance.py --validate BENCH_sched.json
-
-``--check`` enforces the scheduler invariants (cycles and auto-lb each
-beating the static hash, the auto-LB actually firing) and exits
-non-zero if any fails; ``--validate`` schema-checks an existing
-document instead of running anything.
 """
 
-import argparse
-import json
 import sys
 
-from repro.dpdk.dpdkr import DpdkrPmd
-from repro.openflow.actions import OutputAction
-from repro.openflow.match import Match
-from repro.openflow.table import FlowEntry
-from repro.sched.autolb import AutoLbPolicy
-from repro.sim.engine import Environment
-from repro.traffic.generator import SourceApp
-from repro.traffic.profiles import hot_port_rates, uniform_profile
-from repro.traffic.sink import SinkApp
-from repro.vswitch.vswitchd import VSwitchd
-
-SCHEMA = "repro-bench-sched/1"
-
-N_CORES = 4
-N_PORTS = 8
-# Receive ofports chosen adversarially: the two hottest ports (rates[0]
-# and rates[1] below land on ofports 1 and 5) are congruent mod 4, so
-# the static hash stacks them on the same PMD core.
-RX_OFPORTS = (1, 5, 2, 3, 4, 6, 7, 8)
-ZIPF_EXPONENT = 1.0
-
-
-def build_switch(env, auto_lb_interval=None):
-    switch = VSwitchd(
-        env=env, n_pmd_cores=N_CORES, name="bench-sched",
-        auto_lb=auto_lb_interval is not None,
-        auto_lb_policy=(
-            AutoLbPolicy(rebalance_interval=auto_lb_interval)
-            if auto_lb_interval is not None else AutoLbPolicy()
-        ),
-    )
-    rx_ports, tx_ports = [], []
-    for index, ofport in enumerate(RX_OFPORTS):
-        rx_ports.append(switch.add_dpdkr_port(
-            "rx%d" % index, ofport=ofport))
-    for index in range(N_PORTS):
-        tx_ports.append(switch.add_dpdkr_port(
-            "out%d" % index, ofport=100 + index))
-    for rx, tx in zip(rx_ports, tx_ports):
-        switch.bridge.table.add(FlowEntry(
-            Match(in_port=rx.ofport), [OutputAction(tx.ofport)],
-            priority=10,
-        ))
-    return switch, rx_ports, tx_ports
-
-
-def run_variant(variant, total_pps, duration, warmup):
-    """One full run; returns the measured numbers for one variant."""
-    env = Environment()
-    auto_lb_interval = warmup / 4 if variant == "auto_lb" else None
-    switch, rx_ports, tx_ports = build_switch(env, auto_lb_interval)
-    profile = uniform_profile(64, flows=4)
-    rates = hot_port_rates(total_pps, N_PORTS, ZIPF_EXPONENT)
-    sources, sinks = [], []
-    for index, (rx, rate) in enumerate(zip(rx_ports, rates)):
-        pmd = DpdkrPmd(index, rx.rings)
-        sources.append(SourceApp(
-            "src%d" % index, pmd, profile=profile, rate_pps=rate,
-        ))
-    for index, tx in enumerate(tx_ports):
-        pmd = DpdkrPmd(100 + index, tx.rings)
-        sinks.append(SinkApp("sink%d" % index, pmd,
-                             record_latency=False))
-    switch.start()
-    for app in sources + sinks:
-        app.start(env)
-    if variant == "auto_lb":
-        # Ports were placed by the static hash (the adversarial start);
-        # from here on the balancer re-plans with measured cycles.
-        switch.set_rxq_assign("cycles")
-    env.run(until=warmup)
-    if variant == "cycles":
-        switch.set_rxq_assign("cycles")
-        switch.rebalance()
-    switch.reset_pmd_accounting()
-    received_mark = [sink.received for sink in sinks]
-    env.run(until=warmup + duration)
-    delivered = sum(sink.received - mark
-                    for sink, mark in zip(sinks, received_mark))
-    scheduler = switch.scheduler
-    core_busy = [round(loop.utilization, 4)
-                 for loop in switch._pmd_loops]
-    out = {
-        "variant": variant,
-        "offered_pps": round(total_pps, 1),
-        "delivered": delivered,
-        "throughput_mpps": round(delivered / duration / 1e6, 4),
-        "core_busy": core_busy,
-        "rebalances": scheduler.rebalances,
-        "port_moves": scheduler.port_moves,
-        "assignment": {
-            str(core): [port.name for port in ports]
-            for core, ports in enumerate(scheduler.core_ports)
-        },
-    }
-    if switch.auto_lb is not None:
-        out["auto_lb_checks"] = switch.auto_lb.checks_run
-        out["auto_lb_applied"] = switch.auto_lb.rebalances_applied
-    switch.stop()
-    for app in sources + sinks:
-        app.stop()
-    return out
-
-
-# -- checks -------------------------------------------------------------------
-
-
-def run_checks(doc):
-    """The scheduler invariants; each returns (name, passed, detail)."""
-    workloads = doc["workloads"]
-    static = workloads["static"]["throughput_mpps"]
-    cycles = workloads["cycles"]["throughput_mpps"]
-    auto_lb = workloads["auto_lb"]["throughput_mpps"]
-    return [
-        ("cycles_beats_static_hash", cycles > static,
-         "%.4f > %.4f Mpps" % (cycles, static)),
-        ("auto_lb_beats_static_hash", auto_lb > static,
-         "%.4f > %.4f Mpps" % (auto_lb, static)),
-        ("cycles_rebalance_moved_ports",
-         workloads["cycles"]["port_moves"] > 0,
-         "%d port move(s)" % workloads["cycles"]["port_moves"]),
-        ("auto_lb_applied_a_rebalance",
-         workloads["auto_lb"]["auto_lb_applied"] >= 1,
-         "%d rebalance(s) applied"
-         % workloads["auto_lb"]["auto_lb_applied"]),
-        ("static_left_alone",
-         workloads["static"]["port_moves"] == 0,
-         "%d port move(s)" % workloads["static"]["port_moves"]),
-    ]
-
-
-# -- schema -------------------------------------------------------------------
-
-REQUIRED_VARIANT_KEYS = {
-    "variant", "offered_pps", "delivered", "throughput_mpps",
-    "core_busy", "rebalances", "port_moves", "assignment",
-}
-
-
-def validate(doc):
-    """Structural schema check; returns a list of problems (empty = ok)."""
-    problems = []
-    if doc.get("schema") != SCHEMA:
-        problems.append("schema != %s" % SCHEMA)
-    workloads = doc.get("workloads", {})
-    for name in ("static", "cycles", "auto_lb"):
-        variant = workloads.get(name)
-        if variant is None:
-            problems.append("missing workload %s" % name)
-            continue
-        missing = REQUIRED_VARIANT_KEYS - set(variant)
-        if missing:
-            problems.append("%s missing %s" % (name, sorted(missing)))
-        if name == "auto_lb" and "auto_lb_applied" not in variant:
-            problems.append("auto_lb missing auto_lb_applied")
-    if not isinstance(doc.get("checks"), list) or not doc["checks"]:
-        problems.append("missing checks")
-    return problems
-
-
-# -- driver -------------------------------------------------------------------
-
-
-def run_bench(quick):
-    duration = 0.01 if quick else 0.04
-    warmup = 0.008 if quick else 0.016
-    # Tuned so the two colliding hot ports saturate one core under the
-    # static hash while the spread layout keeps every core below
-    # capacity: the delta between variants is pure scheduling.
-    total_pps = 2.0e7
-    doc = {
-        "schema": SCHEMA,
-        "config": {
-            "quick": quick,
-            "n_pmd_cores": N_CORES,
-            "n_rx_ports": N_PORTS,
-            "rx_ofports": list(RX_OFPORTS),
-            "zipf_exponent": ZIPF_EXPONENT,
-            "offered_pps_total": total_pps,
-            "duration_s": duration,
-            "warmup_s": warmup,
-        },
-        "workloads": {},
-    }
-    for step, variant in enumerate(("static", "cycles", "auto_lb"), 1):
-        print("[%d/3] %s..." % (step, variant), file=sys.stderr)
-        doc["workloads"][variant] = run_variant(
-            variant, total_pps, duration, warmup)
-    doc["checks"] = [
-        {"name": name, "passed": passed, "detail": detail}
-        for name, passed, detail in run_checks(doc)
-    ]
-    return doc
-
-
-def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_sched.json",
-                        help="output JSON path (default: %(default)s)")
-    parser.add_argument("--quick", action="store_true",
-                        help="reduced budget (CI smoke)")
-    parser.add_argument("--check", action="store_true",
-                        help="exit non-zero if a scheduler invariant fails")
-    parser.add_argument("--validate", metavar="PATH",
-                        help="schema-check an existing document and exit")
-    args = parser.parse_args(argv)
-
-    if args.validate:
-        with open(args.validate) as handle:
-            doc = json.load(handle)
-        problems = validate(doc)
-        for problem in problems:
-            print("INVALID: %s" % problem, file=sys.stderr)
-        print("%s: %s" % (args.validate,
-                          "invalid" if problems else "valid (%s)" % SCHEMA))
-        return 1 if problems else 0
-
-    doc = run_bench(args.quick)
-    problems = validate(doc)
-    if problems:  # the generator must always satisfy its own schema
-        for problem in problems:
-            print("INTERNAL SCHEMA ERROR: %s" % problem, file=sys.stderr)
-        return 2
-    with open(args.out, "w") as handle:
-        json.dump(doc, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print("wrote %s" % args.out)
-    for check in doc["checks"]:
-        status = "PASS" if check["passed"] else "FAIL"
-        print("  %-40s %s  (%s)" % (check["name"], status, check["detail"]))
-    if args.check and not all(check["passed"] for check in doc["checks"]):
-        return 1
-    return 0
-
+from repro.bench.cli import script_main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(script_main("sched"))

@@ -13,9 +13,19 @@ at the artifact directory, and fails the job unless:
   proves the bypass path (``bypass-ring`` hop, no classifier hop);
 * ``report.txt`` contains all four report sections.
 
-Usage: ``python scripts/validate_obs_artifacts.py <artifact-dir>``
+It also validates benchmark artifacts against the unified schema
+(:mod:`repro.bench.schema`): ``--bench`` schema-checks benchmark JSON
+documents (family resolved from their ``schema`` tag), ``--trends``
+schema-checks a ``BENCH_TRENDS.jsonl`` file.
+
+Usage::
+
+    python scripts/validate_obs_artifacts.py <artifact-dir>
+    python scripts/validate_obs_artifacts.py --bench BENCH_*.json
+    python scripts/validate_obs_artifacts.py --trends BENCH_TRENDS.jsonl
 """
 
+import argparse
 import json
 import os
 import sys
@@ -107,16 +117,62 @@ def check_report(path):
     print("ok: %s" % path)
 
 
+def check_bench_doc(path):
+    from repro.bench.schema import validate_document
+    from repro.bench.workloads import by_schema_tag
+
+    with open(path) as handle:
+        doc = json.load(handle)
+    module = by_schema_tag(doc.get("schema"))
+    if module is not None:
+        problems = module.validate(doc)  # family payload + base schema
+        kind = module.SCHEMA
+    else:
+        problems = validate_document(doc)  # matrix/unknown family
+        kind = doc.get("schema", "?")
+    for problem in problems:
+        print("FAIL: %s: %s" % (path, problem), file=sys.stderr)
+    if problems:
+        raise SystemExit(1)
+    print("ok: %s (%s)" % (path, kind))
+
+
+def check_trend_file(path):
+    from repro.bench.schema import read_trend_lines, validate_trend_file
+
+    problems = validate_trend_file(path)
+    for problem in problems:
+        print("FAIL: %s: %s" % (path, problem), file=sys.stderr)
+    if problems:
+        raise SystemExit(1)
+    print("ok: %s (%d trend lines)" % (path, len(read_trend_lines(path))))
+
+
 def main(argv):
-    if len(argv) != 2:
-        print(__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("artifact_dir", nargs="?",
+                        help="--obs-out artifact directory to validate")
+    parser.add_argument("--bench", nargs="+", default=[],
+                        metavar="JSON",
+                        help="benchmark documents to schema-check")
+    parser.add_argument("--trends", default=None, metavar="JSONL",
+                        help="trend file to schema-check")
+    args = parser.parse_args(argv[1:])
+    if not args.artifact_dir and not args.bench and not args.trends:
+        parser.print_help()
         return 2
-    out_dir = argv[1]
-    check_metrics(os.path.join(out_dir, "metrics.prom"))
-    check_snapshots(os.path.join(out_dir, "snapshots.jsonl"))
-    check_traces(os.path.join(out_dir, "traces.jsonl"))
-    check_report(os.path.join(out_dir, "report.txt"))
-    print("all observability artifacts valid")
+    if args.artifact_dir:
+        out_dir = args.artifact_dir
+        check_metrics(os.path.join(out_dir, "metrics.prom"))
+        check_snapshots(os.path.join(out_dir, "snapshots.jsonl"))
+        check_traces(os.path.join(out_dir, "traces.jsonl"))
+        check_report(os.path.join(out_dir, "report.txt"))
+        print("all observability artifacts valid")
+    for path in args.bench:
+        check_bench_doc(path)
+    if args.trends:
+        check_trend_file(args.trends)
     return 0
 
 

@@ -1,0 +1,8 @@
+"""``python -m repro.bench``: run the benchmark scenario matrix."""
+
+import sys
+
+from repro.bench.cli import bench_main
+
+if __name__ == "__main__":
+    sys.exit(bench_main())

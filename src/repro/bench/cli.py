@@ -1,0 +1,201 @@
+"""Command-line drivers for the benchmark subsystem.
+
+Two entry points share this module:
+
+* :func:`script_main` backs the four thin ``scripts/bench_*.py``
+  wrappers, keeping their historical interface
+  (``--out/--quick/--seed/--check/--validate``) while all measurement
+  code lives in :mod:`repro.bench.workloads`;
+* :func:`bench_main` is ``python -m repro.bench``: run the scenario
+  matrix (or a subset), write one schema-v1 JSON document per scenario,
+  append one trend line per scenario to ``BENCH_TRENDS.jsonl``, and
+  optionally dump the harness's ``repro_bench_*`` metrics in Prometheus
+  text format.
+"""
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+from repro.bench.schema import (
+    TRENDS_BASENAME,
+    append_trend_line,
+    checks_passed,
+    make_trend_line,
+    validate_document,
+    validate_trend_file,
+)
+
+
+def _write_doc(path: str, doc) -> None:
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _print_checks(doc) -> None:
+    for check in doc["checks"]:
+        status = "PASS" if check["passed"] else "FAIL"
+        print("  %-40s %s  (%s)" % (check["name"], status,
+                                    check["detail"]))
+
+
+# -- legacy script driver -----------------------------------------------------
+
+
+def script_main(family: str, argv=None) -> int:
+    """The shared main() of one ``scripts/bench_<family>.py`` wrapper."""
+    from repro.bench import workloads
+
+    module = workloads.get(family)
+    parser = argparse.ArgumentParser(
+        description=(module.__doc__ or "").strip().splitlines()[0])
+    parser.add_argument("--out", default=module.DEFAULT_OUT,
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizing (CI smoke)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="fault/chaos seed override (default: "
+                             "REPRO_FAULT_SEED, then %s)"
+                        % module.DEFAULT_SEED)
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if an invariant fails")
+    parser.add_argument("--validate", metavar="PATH",
+                        help="schema-check an existing document and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            doc = json.load(handle)
+        problems = module.validate(doc)
+        for problem in problems:
+            print("INVALID: %s" % problem, file=sys.stderr)
+        print("%s: %s" % (args.validate,
+                          "invalid" if problems
+                          else "valid (%s)" % module.SCHEMA))
+        return 1 if problems else 0
+
+    doc = module.run_bench(args.quick, seed=args.seed)
+    problems = module.validate(doc)
+    if problems:  # the generator must always satisfy its own schema
+        for problem in problems:
+            print("INTERNAL SCHEMA ERROR: %s" % problem, file=sys.stderr)
+        return 2
+    _write_doc(args.out, doc)
+    print("wrote %s" % args.out)
+    _print_checks(doc)
+    if args.check and not checks_passed(doc):
+        return 1
+    return 0
+
+
+# -- scenario matrix driver ---------------------------------------------------
+
+
+def bench_main(argv=None) -> int:
+    from repro.bench.scenarios import SCENARIOS, run_scenario
+    from repro.bench.state import BenchState
+    from repro.obs.export import prometheus_text
+    from repro.obs.registry import MetricsRegistry
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="run the benchmark scenario matrix")
+    parser.add_argument("--matrix", choices=("quick", "full"),
+                        help="run every scenario in this sizing")
+    parser.add_argument("--scenarios", action="append", default=[],
+                        metavar="NAME[,NAME...]",
+                        help="run only these scenarios (repeatable)")
+    parser.add_argument("--quick", action="store_true",
+                        help="with --scenarios: smoke sizing")
+    parser.add_argument("--list", action="store_true",
+                        help="list scenarios and exit")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="fault/chaos seed override")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory for per-scenario JSON documents "
+                             "(default: %(default)s)")
+    parser.add_argument("--trends", default=None, metavar="PATH",
+                        help="trend file to append to (default: "
+                             "<out-dir>/%s)" % TRENDS_BASENAME)
+    parser.add_argument("--no-trends", action="store_true",
+                        help="do not append trend lines")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="also write the harness registry in "
+                             "Prometheus text format")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for scenario in SCENARIOS.values():
+            print("%-24s [%s] %s" % (scenario.name, scenario.family,
+                                     scenario.title))
+        return 0
+
+    names = []
+    for chunk in args.scenarios:
+        names.extend(name.strip() for name in chunk.split(",")
+                     if name.strip())
+    if args.matrix and names:
+        parser.error("--matrix and --scenarios are mutually exclusive")
+    if not args.matrix and not names:
+        parser.error("pick --matrix quick|full, --scenarios ..., "
+                     "or --list")
+    if args.matrix:
+        names = list(SCENARIOS)
+        quick = args.matrix == "quick"
+    else:
+        quick = args.quick
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        parser.error("unknown scenario(s): %s (see --list)"
+                     % ", ".join(unknown))
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    trends_path = args.trends or os.path.join(args.out_dir,
+                                              TRENDS_BASENAME)
+    registry = MetricsRegistry()
+    state = BenchState(trends_path=trends_path)
+    failures = 0
+    for index, name in enumerate(names, 1):
+        scenario = SCENARIOS[name]
+        print("=== [%d/%d] %s (%s) ===" % (index, len(names), name,
+                                           "quick" if quick else "full"),
+              file=sys.stderr)
+        doc = run_scenario(name, quick=quick, seed=args.seed,
+                           registry=registry)
+        problems = validate_document(doc)
+        if problems:
+            for problem in problems:
+                print("INTERNAL SCHEMA ERROR [%s]: %s"
+                      % (name, problem), file=sys.stderr)
+            return 2
+        out_path = os.path.join(args.out_dir,
+                                "BENCH_scenario_%s.json" % name)
+        _write_doc(out_path, doc)
+        state.record(name, doc)
+        passed = checks_passed(doc)
+        if not passed:
+            failures += 1
+        print("wrote %s" % out_path)
+        _print_checks(doc)
+        if not args.no_trends:
+            append_trend_line(trends_path, make_trend_line(
+                name, scenario.family, doc.get("trend", {}),
+                doc["meta"], passed,
+            ))
+    if not args.no_trends:
+        problems = validate_trend_file(trends_path)
+        if problems:
+            for problem in problems:
+                print("TREND FILE ERROR: %s" % problem, file=sys.stderr)
+            return 2
+        print("appended %d trend line(s) to %s" % (len(names),
+                                                   trends_path))
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(prometheus_text(registry))
+        print("wrote %s" % args.metrics_out)
+    print(state.last_report())
+    return 1 if failures else 0

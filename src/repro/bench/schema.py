@@ -1,0 +1,248 @@
+"""The unified, versioned benchmark results schema.
+
+Every benchmark artifact this repository produces — the four committed
+``BENCH_*.json`` snapshots, any ``python -m repro.bench`` scenario
+document, and every line of ``BENCH_TRENDS.jsonl`` — validates against
+the structures defined here.  The schema is deliberately small:
+
+* a **document** is one benchmark run: ``schema`` (family tag, e.g.
+  ``repro-bench-fastpath/1``), ``schema_version`` (this module's
+  :data:`SCHEMA_VERSION`), ``meta`` (who/when/where: generator, git
+  sha, fault seed, quick flag), ``config`` (the knobs), ``checks``
+  (named pass/fail invariants) and a family-specific payload;
+* a **trend line** is one scenario's headline numbers for one run,
+  appended to ``BENCH_TRENDS.jsonl`` — one line per PR per scenario —
+  which ``scripts/bench_gate.py`` compares against history.
+
+Bumping :data:`SCHEMA_VERSION` is a contract change: the gate refuses
+to compare lines across versions, and the validator rejects documents
+from the future.
+"""
+
+import json
+import os
+import subprocess
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+SCHEMA_VERSION = 1
+
+#: Trend-file name the matrix appends to and the gate reads.
+TRENDS_BASENAME = "BENCH_TRENDS.jsonl"
+
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                 os.pardir)
+)
+
+
+def git_sha(default: str = "unknown") -> str:
+    """The current commit, for stamping into run metadata.
+
+    ``REPRO_GIT_SHA`` overrides (CI can pass the PR head sha without a
+    checkout); otherwise ``git rev-parse`` from the source tree, then
+    the working directory, then ``default``.
+    """
+    override = os.environ.get("REPRO_GIT_SHA")
+    if override:
+        return override
+    for cwd in (_REPO_ROOT, os.getcwd()):
+        try:
+            proc = subprocess.run(
+                ["git", "rev-parse", "HEAD"], capture_output=True,
+                text=True, cwd=cwd, timeout=10,
+            )
+        except (OSError, subprocess.SubprocessError):
+            continue
+        if proc.returncode == 0 and proc.stdout.strip():
+            return proc.stdout.strip()
+    return default
+
+
+def run_meta(generator: str, seed: Optional[int] = None,
+             quick: bool = False) -> Dict[str, Any]:
+    """The ``meta`` block every schema-v1 document carries."""
+    return {
+        "generator": generator,
+        "git_sha": git_sha(),
+        "seed": seed,
+        "quick": bool(quick),
+        "created_unix": round(time.time(), 3),
+    }
+
+
+# -- document validation ------------------------------------------------------
+
+
+def _check_checks(checks: Any, problems: List[str]) -> None:
+    if not isinstance(checks, list) or not checks:
+        problems.append("checks must be a non-empty list")
+        return
+    for index, check in enumerate(checks):
+        if not isinstance(check, dict):
+            problems.append("checks[%d] not an object" % index)
+            continue
+        for key in ("name", "passed", "detail"):
+            if key not in check:
+                problems.append("checks[%d] missing %r" % (index, key))
+        if "passed" in check and not isinstance(check["passed"], bool):
+            problems.append("checks[%d].passed not a bool" % index)
+
+
+def _check_meta(meta: Any, problems: List[str]) -> None:
+    if not isinstance(meta, dict):
+        problems.append("meta missing or not an object")
+        return
+    for key in ("generator", "git_sha", "seed", "quick"):
+        if key not in meta:
+            problems.append("meta missing %r" % key)
+    if "quick" in meta and not isinstance(meta["quick"], bool):
+        problems.append("meta.quick not a bool")
+    if ("seed" in meta and meta["seed"] is not None
+            and not isinstance(meta["seed"], int)):
+        problems.append("meta.seed not an int or null")
+
+
+def validate_document(doc: Any,
+                      family: Optional[str] = None) -> List[str]:
+    """Structural check of one benchmark document.
+
+    Returns a list of problems (empty means valid).  ``family``
+    additionally pins the expected ``schema`` tag, e.g. ``"fastpath"``
+    checks for ``repro-bench-fastpath/<version>``.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    schema = doc.get("schema")
+    if not isinstance(schema, str) or not schema.startswith("repro-bench-"):
+        problems.append("schema tag missing or not repro-bench-*")
+    elif family is not None:
+        expected = "repro-bench-%s/%d" % (family, SCHEMA_VERSION)
+        if schema != expected:
+            problems.append("schema %r != %r" % (schema, expected))
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        problems.append("schema_version %r != %d"
+                        % (doc.get("schema_version"), SCHEMA_VERSION))
+    _check_meta(doc.get("meta"), problems)
+    if not isinstance(doc.get("config"), dict):
+        problems.append("config missing or not an object")
+    _check_checks(doc.get("checks"), problems)
+    return problems
+
+
+def checks_passed(doc: Dict[str, Any]) -> bool:
+    return all(check.get("passed") for check in doc.get("checks", []))
+
+
+# -- trend lines --------------------------------------------------------------
+
+
+def make_trend_line(scenario: str, family: str,
+                    metrics: Dict[str, float],
+                    meta: Dict[str, Any],
+                    passed: bool) -> Dict[str, Any]:
+    """One ``BENCH_TRENDS.jsonl`` line: a scenario's headline numbers."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": scenario,
+        "family": family,
+        "git_sha": meta.get("git_sha", "unknown"),
+        "seed": meta.get("seed"),
+        "quick": bool(meta.get("quick", False)),
+        "created_unix": meta.get("created_unix",
+                                 round(time.time(), 3)),
+        "metrics": {key: round(float(value), 6)
+                    for key, value in sorted(metrics.items())},
+        "checks_passed": bool(passed),
+    }
+
+
+def validate_trend_line(line: Any) -> List[str]:
+    """Structural check of one parsed trend line."""
+    problems: List[str] = []
+    if not isinstance(line, dict):
+        return ["trend line is not a JSON object"]
+    if line.get("schema_version") != SCHEMA_VERSION:
+        problems.append("schema_version %r != %d"
+                        % (line.get("schema_version"), SCHEMA_VERSION))
+    for key in ("scenario", "family", "git_sha"):
+        if not isinstance(line.get(key), str) or not line.get(key):
+            problems.append("%s missing or not a string" % key)
+    if not isinstance(line.get("quick"), bool):
+        problems.append("quick missing or not a bool")
+    if not isinstance(line.get("checks_passed"), bool):
+        problems.append("checks_passed missing or not a bool")
+    metrics = line.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("metrics missing or empty")
+    else:
+        for key, value in metrics.items():
+            if not isinstance(value, (int, float)) or isinstance(
+                    value, bool):
+                problems.append("metrics[%r] not a number" % key)
+    return problems
+
+
+def append_trend_line(path: str, line: Dict[str, Any]) -> None:
+    """Append one line; the trend file is only ever appended to."""
+    problems = validate_trend_line(line)
+    if problems:
+        raise ValueError("refusing to append invalid trend line: %s"
+                         % "; ".join(problems))
+    with open(path, "a") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+
+
+def read_trend_lines(path: str) -> List[Dict[str, Any]]:
+    """Parse a trend file; raises on malformed JSON, not on schema."""
+    lines: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if raw:
+                lines.append(json.loads(raw))
+    return lines
+
+
+def validate_trend_file(path: str) -> List[str]:
+    """Every line must validate; problems are prefixed with line numbers."""
+    problems: List[str] = []
+    try:
+        with open(path) as handle:
+            raws = handle.readlines()
+    except OSError as exc:
+        return ["cannot read %s: %s" % (path, exc)]
+    seen_any = False
+    for lineno, raw in enumerate(raws, 1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        seen_any = True
+        try:
+            line = json.loads(raw)
+        except ValueError as exc:
+            problems.append("line %d: bad JSON (%s)" % (lineno, exc))
+            continue
+        for problem in validate_trend_line(line):
+            problems.append("line %d: %s" % (lineno, problem))
+    if not seen_any:
+        problems.append("no trend lines found")
+    return problems
+
+
+def tail_by_scenario(lines: Iterable[Dict[str, Any]], scenario: str,
+                     quick: Optional[bool] = None,
+                     window: int = 5) -> List[Dict[str, Any]]:
+    """The last ``window`` history lines for one scenario.
+
+    ``quick`` filters to comparable runs: quick-mode numbers are only
+    ever compared against quick-mode history (and full against full).
+    """
+    matching = [
+        line for line in lines
+        if line.get("scenario") == scenario
+        and line.get("schema_version") == SCHEMA_VERSION
+        and (quick is None or line.get("quick") == quick)
+    ]
+    return matching[-window:]

@@ -1,0 +1,93 @@
+"""Benchmark run state for the management plane.
+
+:class:`BenchState` is the live record the appctl surface serves:
+``bench/last`` prints the most recent scenario results this process
+produced (headline metrics plus check outcomes), ``bench/trends``
+prints the tail of the on-disk trend file.  The matrix driver
+(:mod:`repro.bench.cli`) records into one; an embedding process can
+hand its own to :class:`~repro.vswitch.appctl.AppCtl`.
+"""
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.bench.schema import (
+    TRENDS_BASENAME,
+    checks_passed,
+    read_trend_lines,
+    tail_by_scenario,
+)
+
+
+class BenchState:
+    """What the benchmark subsystem last did, queryable via appctl."""
+
+    def __init__(self, trends_path: Optional[str] = None) -> None:
+        self.trends_path = trends_path
+        #: scenario name -> its most recent document, insertion-ordered.
+        self.last_runs: Dict[str, Dict[str, Any]] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, scenario: str, doc: Dict[str, Any]) -> None:
+        """Remember one finished scenario run (latest wins)."""
+        self.last_runs.pop(scenario, None)
+        self.last_runs[scenario] = doc
+
+    # -- appctl text surfaces -------------------------------------------------
+
+    def last_report(self) -> str:
+        """``bench/last``: every scenario recorded this process, newest
+        last, with its headline metrics and failed checks."""
+        if not self.last_runs:
+            return "no benchmark runs recorded"
+        lines: List[str] = []
+        for scenario, doc in self.last_runs.items():
+            meta = doc.get("meta", {})
+            status = "PASS" if checks_passed(doc) else "FAIL"
+            lines.append("%-24s %s  (%s, sha %.12s)" % (
+                scenario, status,
+                "quick" if meta.get("quick") else "full",
+                meta.get("git_sha", "unknown"),
+            ))
+            for key, value in sorted(doc.get("trend", {}).items()):
+                lines.append("  %-30s %g" % (key, value))
+            for check in doc.get("checks", []):
+                if not check.get("passed"):
+                    lines.append("  FAILED %s: %s" % (
+                        check.get("name"), check.get("detail")))
+        return "\n".join(lines)
+
+    def trends_report(self, scenario: Optional[str] = None,
+                      window: int = 5) -> str:
+        """``bench/trends``: the tail of the trend file, per scenario."""
+        path = self.trends_path or TRENDS_BASENAME
+        if not os.path.exists(path):
+            return "no trend file at %s" % path
+        try:
+            all_lines = read_trend_lines(path)
+        except ValueError as exc:
+            return "trend file %s unreadable: %s" % (path, exc)
+        scenarios = ([scenario] if scenario
+                     else sorted({line.get("scenario")
+                                  for line in all_lines
+                                  if line.get("scenario")}))
+        out: List[str] = []
+        for name in scenarios:
+            tail = tail_by_scenario(all_lines, name, window=window)
+            if not tail:
+                out.append("%s: no history" % name)
+                continue
+            out.append("%s (%d of %d run(s)):"
+                       % (name, len(tail),
+                          sum(1 for line in all_lines
+                              if line.get("scenario") == name)))
+            for line in tail:
+                out.append("  sha %.12s %s %s  %s" % (
+                    line.get("git_sha", "unknown"),
+                    "quick" if line.get("quick") else "full",
+                    "pass" if line.get("checks_passed") else "FAIL",
+                    " ".join("%s=%g" % (key, value) for key, value
+                             in sorted(line.get("metrics", {}).items())),
+                ))
+        return "\n".join(out) if out else "no trend lines"

@@ -1,0 +1,290 @@
+"""Fast-path benchmark family: vectorized vs scalar, precise vs
+generation-wipe EMC invalidation (formerly ``scripts/bench_baseline.py``).
+
+Runs a small, deterministic set of workloads and produces one schema-v1
+document (family tag ``repro-bench-fastpath/1``) recording throughput,
+PMD cycles/packet, cache hit rates and flow-batch fill — the numbers
+``docs/PERFORMANCE.md`` explains how to read.  The committed
+``BENCH_fastpath.json`` at the repo root is the output of a full
+(non-quick) run.
+"""
+
+import sys
+
+from repro.bench.workloads import (
+    attach_checks,
+    missing_keys,
+    new_doc,
+    resolve_seed,
+)
+from repro.bench.schema import validate_document
+from repro.experiments import ChainExperiment
+from repro.obs.cycles import seconds_to_cycles
+from repro.openflow.actions import OutputAction
+from repro.openflow.match import Match
+from repro.openflow.table import FlowEntry
+from repro.packet.builder import make_udp_packet
+from repro.packet.mbuf import Mbuf
+from repro.vswitch.vswitchd import VSwitchd
+
+FAMILY = "fastpath"
+SCHEMA = "repro-bench-fastpath/1"
+GENERATOR = "scripts/bench_baseline.py"
+DEFAULT_OUT = "BENCH_fastpath.json"
+DEFAULT_SEED = None
+
+LOOKUP_STAGES = ("emc_lookup", "smc_lookup", "classifier_lookup",
+                 "miss_upcall")
+
+
+# -- measurement helpers ------------------------------------------------------
+
+
+def pmd_cycles_per_packet(experiment):
+    """Busy PMD cycles per switch traversal over the measurement window.
+
+    Busy time comes from the poll loops (the accounting authority; reset
+    at warmup end), the packet denominator from the per-core stage
+    tables (also reset at warmup end): every packet the switch handles
+    passes exactly one lookup stage per traversal.
+    """
+    report = experiment.node.switch.pmd_cycle_report()
+    busy = sum(loop.busy_time for loop in report.loops)
+    packets = 0
+    for _loop, stages in report.loop_rows():
+        if stages is None:
+            continue
+        for stage in LOOKUP_STAGES:
+            packets += stages.packets.get(stage, 0)
+    if not packets:
+        return 0.0
+    return seconds_to_cycles(busy) / packets
+
+
+def hit_rate(hits, misses):
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def chain_fastpath(vectorized, duration, flows=64, burst_size=32):
+    """One vanilla (all hops through OVS) fig3a-style memory chain."""
+    experiment = ChainExperiment(
+        num_vms=3, bypass=False, memory_only=True, duration=duration,
+        flows=flows, burst_size=burst_size, vectorized=vectorized,
+    )
+    result = experiment.run()
+    datapath = experiment.node.switch.datapath
+    return {
+        "vectorized": vectorized,
+        "flows": flows,
+        "burst_size": burst_size,
+        "throughput_mpps": round(result.throughput_mpps, 4),
+        "cycles_per_packet": round(pmd_cycles_per_packet(experiment), 2),
+        "emc_hit_rate": round(datapath.emc.hit_rate, 4),
+        "smc_hit_rate": round(datapath.smc.hit_rate, 4),
+        "avg_batch_fill": round(datapath.avg_batch_fill, 3),
+        "batch_fill_histogram": {
+            str(fill): count
+            for fill, count in sorted(datapath.batch_fill_counts.items())
+        },
+        "packets_processed": datapath.packets_processed,
+    }
+
+
+def emc_invalidation_workload(mode, bursts, flows=32, burst_size=32,
+                              churn_every=4):
+    """Rolling-flowmod workload: steady traffic over ``flows`` UDP flows
+    while unrelated rules are added and deleted every ``churn_every``
+    bursts.  Precise invalidation keeps the traffic's EMC entries alive
+    across the churn; generation wipe loses the whole cache each time.
+    """
+    switch = VSwitchd(name="bench-emc-%s" % mode)
+    switch.datapath.emc_invalidation = mode
+    rx = switch.add_dpdkr_port("rx")
+    tx = switch.add_dpdkr_port("tx")
+    switch.bridge.table.add(FlowEntry(
+        Match(in_port=rx.ofport), [OutputAction(tx.ofport)], priority=10,
+    ))
+    churn_match = Match(in_port=tx.ofport)  # never hit by the traffic
+    packets = [make_udp_packet(src_port=5000 + index)
+               for index in range(flows)]
+    sent = 0
+    for burst in range(bursts):
+        if burst and burst % churn_every == 0:
+            entry = FlowEntry(churn_match, [], priority=5)
+            switch.bridge.table.add(entry)
+            switch.bridge.table.delete(churn_match, strict=True, priority=5)
+        for _ in range(burst_size):
+            mbuf = Mbuf()
+            mbuf.packet = packets[sent % flows]
+            mbuf.wire_length = mbuf.packet.wire_length
+            rx.rings.to_switch.enqueue(mbuf)
+            sent += 1
+        switch.step_dataplane()
+        tx.rings.to_guest.dequeue_burst(burst_size)
+    emc = switch.datapath.emc
+    return {
+        "invalidation": mode,
+        "flows": flows,
+        "bursts": bursts,
+        "flowmods": 2 * ((bursts - 1) // churn_every),
+        "emc_hit_rate": round(emc.hit_rate, 4),
+        "emc_hits": emc.hits,
+        "emc_misses": emc.misses,
+        "precise_evictions": emc.precise_evictions,
+    }
+
+
+def chain_pair(duration, memory_only, measure):
+    out = {}
+    for bypass in (False, True):
+        result = ChainExperiment(
+            num_vms=3 if memory_only else 2, bypass=bypass,
+            memory_only=memory_only, duration=duration,
+        ).run()
+        out["bypass" if bypass else "vanilla"] = measure(result)
+    return out
+
+
+# -- checks -------------------------------------------------------------------
+
+
+def run_checks(doc):
+    """The baseline invariants; each returns (name, passed, detail)."""
+    fast = doc["workloads"]["fig3a_fastpath"]
+    vec, scalar = fast["vectorized"], fast["scalar"]
+    inval = doc["workloads"]["emc_invalidation"]
+    fig3b = doc["workloads"]["fig3b_nic_chain"]
+    latency = doc["workloads"]["latency_chain"]
+    checks = [
+        ("vectorized_cycles_per_packet_lower",
+         vec["cycles_per_packet"] < scalar["cycles_per_packet"],
+         "%.2f < %.2f" % (vec["cycles_per_packet"],
+                          scalar["cycles_per_packet"])),
+        ("vectorized_throughput_not_worse",
+         vec["throughput_mpps"] >= scalar["throughput_mpps"],
+         "%.4f >= %.4f" % (vec["throughput_mpps"],
+                           scalar["throughput_mpps"])),
+        ("precise_invalidation_higher_hit_rate",
+         inval["precise"]["emc_hit_rate"]
+         > inval["generation"]["emc_hit_rate"],
+         "%.4f > %.4f" % (inval["precise"]["emc_hit_rate"],
+                          inval["generation"]["emc_hit_rate"])),
+        ("bypass_beats_vanilla_nic_chain",
+         fig3b["bypass"]["throughput_mpps"]
+         > fig3b["vanilla"]["throughput_mpps"],
+         "%.4f > %.4f" % (fig3b["bypass"]["throughput_mpps"],
+                          fig3b["vanilla"]["throughput_mpps"])),
+        ("bypass_cuts_latency",
+         latency["bypass"]["mean_latency_us"]
+         < latency["vanilla"]["mean_latency_us"],
+         "%.2f < %.2f" % (latency["bypass"]["mean_latency_us"],
+                          latency["vanilla"]["mean_latency_us"])),
+    ]
+    return checks
+
+
+# -- schema -------------------------------------------------------------------
+
+REQUIRED_FASTPATH_KEYS = {
+    "vectorized", "flows", "burst_size", "throughput_mpps",
+    "cycles_per_packet", "emc_hit_rate", "smc_hit_rate",
+    "avg_batch_fill", "batch_fill_histogram", "packets_processed",
+}
+REQUIRED_INVALIDATION_KEYS = {
+    "invalidation", "flows", "bursts", "flowmods", "emc_hit_rate",
+    "emc_hits", "emc_misses", "precise_evictions",
+}
+
+
+def validate(doc):
+    """Structural schema check; returns a list of problems (empty = ok)."""
+    problems = validate_document(doc, family=FAMILY)
+    workloads = doc.get("workloads", {})
+    for name in ("fig3a_fastpath", "emc_invalidation", "fig3b_nic_chain",
+                 "latency_chain"):
+        if name not in workloads:
+            problems.append("missing workload %s" % name)
+    fast = workloads.get("fig3a_fastpath", {})
+    for variant in ("vectorized", "scalar"):
+        missing = missing_keys(fast.get(variant), REQUIRED_FASTPATH_KEYS)
+        if missing:
+            problems.append("fig3a_fastpath.%s missing %s"
+                            % (variant, missing))
+    inval = workloads.get("emc_invalidation", {})
+    for variant in ("precise", "generation"):
+        missing = missing_keys(inval.get(variant),
+                               REQUIRED_INVALIDATION_KEYS)
+        if missing:
+            problems.append("emc_invalidation.%s missing %s"
+                            % (variant, missing))
+    for name in ("fig3b_nic_chain", "latency_chain"):
+        for variant in ("vanilla", "bypass"):
+            if variant not in workloads.get(name, {}):
+                problems.append("%s missing %s" % (name, variant))
+    return problems
+
+
+# -- trends -------------------------------------------------------------------
+
+
+def trend_metrics(doc):
+    """Headline numbers for one ``BENCH_TRENDS.jsonl`` line."""
+    fast = doc["workloads"]["fig3a_fastpath"]
+    inval = doc["workloads"]["emc_invalidation"]
+    fig3b = doc["workloads"]["fig3b_nic_chain"]
+    latency = doc["workloads"]["latency_chain"]
+    return {
+        "vec_cycles_per_packet": fast["vectorized"]["cycles_per_packet"],
+        "vec_throughput_mpps": fast["vectorized"]["throughput_mpps"],
+        "precise_emc_hit_rate": inval["precise"]["emc_hit_rate"],
+        "bypass_nic_mpps": fig3b["bypass"]["throughput_mpps"],
+        "bypass_latency_us": latency["bypass"]["mean_latency_us"],
+    }
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def run_bench(quick, seed=None):
+    chain_duration = 0.001 if quick else 0.003
+    churn_bursts = 64 if quick else 256
+    doc = new_doc(FAMILY, GENERATOR, quick, resolve_seed(seed), {
+        "quick": quick,
+        "chain_duration_s": chain_duration,
+        "churn_bursts": churn_bursts,
+    })
+    doc["workloads"] = {}
+    workloads = doc["workloads"]
+
+    print("[1/4] fig3a memory chain, vectorized vs scalar "
+          "(3 VMs, 64 flows, burst 32)...", file=sys.stderr)
+    workloads["fig3a_fastpath"] = {
+        "vectorized": chain_fastpath(True, chain_duration),
+        "scalar": chain_fastpath(False, chain_duration),
+    }
+
+    print("[2/4] EMC invalidation under rolling flowmods...",
+          file=sys.stderr)
+    workloads["emc_invalidation"] = {
+        "precise": emc_invalidation_workload("precise", churn_bursts),
+        "generation": emc_invalidation_workload("generation", churn_bursts),
+    }
+
+    print("[3/4] fig3b NIC chain, bypass vs vanilla...", file=sys.stderr)
+    workloads["fig3b_nic_chain"] = chain_pair(
+        chain_duration, memory_only=False,
+        measure=lambda result: {
+            "throughput_mpps": round(result.throughput_mpps, 4),
+        },
+    )
+
+    print("[4/4] chain latency, bypass vs vanilla...", file=sys.stderr)
+    workloads["latency_chain"] = chain_pair(
+        chain_duration, memory_only=True,
+        measure=lambda result: {
+            "mean_latency_us": round(result.mean_latency * 1e6, 3),
+        },
+    )
+
+    return attach_checks(doc, run_checks(doc))

@@ -26,7 +26,7 @@ from repro.orchestration.node import NfvNode
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import Environment
 from repro.traffic.generator import SourceApp, WireSource
-from repro.traffic.profiles import uniform_profile
+from repro.traffic.profiles import TrafficProfile, uniform_profile
 from repro.traffic.sink import SinkApp, WireSink
 
 # Simulated seconds the control plane gets per bypass link to establish
@@ -54,6 +54,22 @@ class ChainResult:
     active_bypasses: int = 0
     ovs_utilization: List[float] = field(default_factory=list)
     setup_times: List[float] = field(default_factory=list)
+    # Whole-run conservation accounting, populated when run(drain=...)
+    # stops the sources and drains the pipeline: every offered packet
+    # is then either delivered or genuinely lost inside the node.
+    offered_total: int = 0             # generated + generator tx failures
+    delivered_total: int = 0
+    drained: bool = False
+
+    @property
+    def lost_total(self) -> int:
+        return max(0, self.offered_total - self.delivered_total)
+
+    @property
+    def loss_fraction(self) -> float:
+        if not self.offered_total:
+            return 0.0
+        return self.lost_total / self.offered_total
 
     @property
     def mean_latency(self) -> float:
@@ -106,6 +122,9 @@ class ChainExperiment:
         fail_mode: str = "standalone",
         overload: bool = False,
         overload_policy=None,
+        profile: Optional[TrafficProfile] = None,
+        extra_rules: int = 0,
+        churn_hz: float = 0.0,
     ) -> None:
         min_vms = 2 if memory_only else 1
         if num_vms < min_vms:
@@ -138,6 +157,14 @@ class ChainExperiment:
         self.fail_mode = fail_mode
         self.overload = overload
         self.overload_policy = overload_policy
+        self.profile = profile
+        if extra_rules < 0:
+            raise ValueError("extra_rules must be >= 0")
+        if churn_hz < 0:
+            raise ValueError("churn_hz must be >= 0")
+        self.extra_rules = extra_rules
+        self.churn_hz = churn_hz
+        self.flowmods_applied = 0
         self.env: Optional[Environment] = None
         self.node: Optional[NfvNode] = None
         self.apps: List = []
@@ -206,9 +233,52 @@ class ChainExperiment:
             node.install_p2p_rule(self._port(1, 0), "nic0")
             node.install_p2p_rule(self._port(self.num_vms, 1), "nic1")
             node.install_p2p_rule("nic1", self._port(self.num_vms, 1))
+        if self.extra_rules:
+            self._install_filler_rules(self.extra_rules)
+
+    # Filler-rule shapes: cycling eth_src mask widths spreads the rules
+    # over several classifier subtables, the table-bloat stress the rule
+    # sweep measures (the p-2-p rules outrank all of them, so the
+    # traffic's forwarding behaviour is untouched).
+    _FILLER_MASK_SHIFTS = (0, 8, 16, 24)
+
+    def _install_filler_rules(self, count: int) -> None:
+        from repro.openflow.match import Match
+        from repro.openflow.table import FlowEntry
+
+        full = (1 << 48) - 1
+        table = self.node.switch.bridge.table
+        for index in range(count):
+            shift = self._FILLER_MASK_SHIFTS[
+                index % len(self._FILLER_MASK_SHIFTS)
+            ]
+            mask = (full << shift) & full
+            value = ((0x02_00_00_00_00_00 | index << shift) & mask)
+            table.add(FlowEntry(
+                Match(eth_src=(value, mask)), [], priority=1,
+            ))
+
+    def _churn_process(self):
+        """Rolling flowmods at ``churn_hz``: add then delete an unused
+        rule, alternating — the EMC/SMC invalidation pressure the churn
+        sweep measures, applied to a rule the traffic never matches."""
+        from repro.openflow.match import Match
+        from repro.openflow.table import FlowEntry
+
+        env = self.env
+        table = self.node.switch.bridge.table
+        churn_match = Match(in_port=0xBE7C)  # no such port
+        interval = 1.0 / self.churn_hz
+        while True:
+            yield env.timeout(interval)
+            table.add(FlowEntry(churn_match, [], priority=1))
+            table.delete(churn_match, strict=True, priority=1)
+            self.flowmods_applied += 2
 
     def _build_endpoints(self) -> None:
-        profile = uniform_profile(self.frame_size, flows=self.flows)
+        profile = self.profile or uniform_profile(
+            self.frame_size, flows=self.flows
+        )
         tracer = (self.node.obs.tracer
                   if self.trace_sample is not None else None)
         if self.memory_only:
@@ -251,7 +321,12 @@ class ChainExperiment:
 
     # -- execution ------------------------------------------------------------------
 
-    def run(self, duration: Optional[float] = None) -> ChainResult:
+    def run(self, duration: Optional[float] = None,
+            drain: Optional[float] = None) -> ChainResult:
+        """Run the chain; ``drain`` (simulated seconds) stops the
+        sources after the measurement window and lets the pipeline
+        empty, so the result carries exact offered/delivered/loss
+        conservation totals (the RFC2544 harness's input)."""
         if self.env is None:
             self.build()
         duration = self.duration if duration is None else duration
@@ -296,6 +371,8 @@ class ChainExperiment:
             ))
         if self.snapshot_period is not None:
             obs.start_snapshotting(env, period=self.snapshot_period)
+        if self.churn_hz > 0:
+            env.process(self._churn_process(), name="chain.churn")
         # Warmup, then the measurement window.
         warmup_end = env.now + duration * self.warmup_fraction
         env.run(until=warmup_end)
@@ -303,9 +380,31 @@ class ChainExperiment:
         fw0 = self.sinks["forward"].received
         rv0 = self.sinks["reverse"].received
         env.run(until=warmup_end + duration)
+        result = self._collect(duration, fw0, rv0)
+        if drain is not None:
+            # Stop offering, let every in-flight packet reach a sink
+            # (or die), then account the whole run's conservation.
+            for source in self.sources:
+                source.stop()
+            env.run(until=env.now + drain)
+            result.offered_total = sum(
+                source.generated + self._source_failures(source)
+                for source in self.sources
+            )
+            result.delivered_total = sum(
+                sink.received for sink in self.sinks.values()
+            )
+            result.drained = True
         if self.snapshot_period is not None:
             node.obs.snapshot_now()  # final registry state, post-run
-        return self._collect(duration, fw0, rv0)
+        return result
+
+    @staticmethod
+    def _source_failures(source) -> int:
+        """Offered-but-rejected frames: TX-ring full for an in-VM
+        source, NIC ingress drop for a wire source."""
+        return (getattr(source, "tx_failures", 0)
+                + getattr(source, "nic_drops_seen", 0))
 
     def _collect(self, duration: float, fw0: int, rv0: int) -> ChainResult:
         forward = self.sinks["forward"].received - fw0

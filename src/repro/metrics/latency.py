@@ -7,7 +7,7 @@ min/max/mean over the full population.
 """
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 
 class LatencyRecorder:
@@ -20,6 +20,7 @@ class LatencyRecorder:
         self.reservoir_size = reservoir_size
         self._rng = random.Random(seed)
         self._reservoir: List[float] = []
+        self._sorted: Optional[List[float]] = None
         self.count = 0
         self.total = 0.0
         # Internal extrema; the public min_value/max_value properties
@@ -44,32 +45,64 @@ class LatencyRecorder:
             self._max = value
         if len(self._reservoir) < self.reservoir_size:
             self._reservoir.append(value)
+            self._sorted = None
             return
         slot = self._rng.randrange(self.count)
         if slot < self.reservoir_size:
             self._reservoir[slot] = value
+            self._sorted = None
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def _ordered(self) -> List[float]:
+        """The reservoir, sorted once and cached until the next record."""
+        if self._sorted is None:
+            self._sorted = sorted(self._reservoir)
+        return self._sorted
+
     def percentile(self, fraction: float) -> float:
-        """Approximate percentile from the reservoir (0 <= fraction <= 1)."""
+        """Approximate percentile from the reservoir (0 <= fraction <= 1).
+
+        Linear interpolation between the two neighbouring ranks (the
+        "type 7" estimator) instead of nearest-rank: a smooth,
+        deterministic function of the samples, so p99.9 of a small
+        reservoir no longer snaps to whichever extreme sample happens
+        to hold the last slot.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         if not self._reservoir:
             return 0.0
-        ordered = sorted(self._reservoir)
-        index = min(int(fraction * len(ordered)), len(ordered) - 1)
-        return ordered[index]
+        ordered = self._ordered()
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = fraction * (len(ordered) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        weight = rank - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * weight
+
+    def percentiles(self, fractions: Sequence[float]) -> List[float]:
+        """Batch accessor: one sort, many quantiles."""
+        return [self.percentile(fraction) for fraction in fractions]
 
     @property
     def p50(self) -> float:
         return self.percentile(0.50)
 
     @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
     def p99(self) -> float:
         return self.percentile(0.99)
+
+    @property
+    def p999(self) -> float:
+        return self.percentile(0.999)
 
     def merge(self, other: "LatencyRecorder") -> None:
         """Fold another recorder's population into this one.

@@ -624,16 +624,32 @@ def trace_dump(obs=None, limit: int = 10) -> str:
     return obs.tracer.render(limit=limit)
 
 
+def bench_last(bench=None) -> str:
+    """``appctl bench/last``: the scenario runs this process produced."""
+    if bench is None:
+        return "benchmarks: no bench state wired"
+    return bench.last_report()
+
+
+def bench_trends(bench=None, argument: str = "") -> str:
+    """``appctl bench/trends [SCENARIO]``: trend-file tail per scenario."""
+    if bench is None:
+        return "benchmarks: no bench state wired"
+    scenario = argument.strip() or None
+    return bench.trends_report(scenario=scenario)
+
+
 class AppCtl:
     """Dispatcher bundling the commands (an ovs-appctl socket stand-in)."""
 
     def __init__(self, vswitchd: VSwitchd, manager=None, obs=None,
-                 repairer=None, mempools=None) -> None:
+                 repairer=None, mempools=None, bench=None) -> None:
         self.vswitchd = vswitchd
         self.manager = manager
         self.obs = obs
         self.repairer = repairer
         self.mempools = mempools
+        self.bench = bench
 
     def run(self, command: str, argument: str = "") -> str:
         handlers = {
@@ -671,6 +687,8 @@ class AppCtl:
             "bypass/health": lambda: bypass_health(self.manager),
             "chain/health": lambda: chain_health(self.repairer),
             "mempool/show": lambda: mempool_show(self.mempools),
+            "bench/last": lambda: bench_last(self.bench),
+            "bench/trends": lambda: bench_trends(self.bench, argument),
         }
         handler = handlers.get(command)
         if handler is None:

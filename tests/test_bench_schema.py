@@ -1,0 +1,290 @@
+"""The unified benchmark schema, the trend file, and the regression
+gate built on top of them."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.bench import workloads
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    append_trend_line,
+    checks_passed,
+    git_sha,
+    make_trend_line,
+    read_trend_lines,
+    run_meta,
+    tail_by_scenario,
+    validate_document,
+    validate_trend_file,
+    validate_trend_line,
+)
+
+_GATE_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "scripts", "bench_gate.py")
+_spec = importlib.util.spec_from_file_location("bench_gate", _GATE_PATH)
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+
+def make_doc(family="fastpath", passed=True, **meta_overrides):
+    doc = workloads.new_doc(family, "test-gen", quick=True, seed=7,
+                            config={"quick": True})
+    doc["meta"].update(meta_overrides)
+    return workloads.attach_checks(doc, [("inv", passed, "detail")])
+
+
+# -- documents ----------------------------------------------------------------
+
+
+class TestDocumentSchema:
+    def test_new_doc_validates(self):
+        assert validate_document(make_doc()) == []
+        assert validate_document(make_doc(), family="fastpath") == []
+
+    def test_meta_carries_identity(self):
+        meta = run_meta("gen", seed=3, quick=True)
+        assert meta["generator"] == "gen"
+        assert meta["seed"] == 3
+        assert meta["quick"] is True
+        assert isinstance(meta["git_sha"], str) and meta["git_sha"]
+
+    def test_git_sha_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        assert git_sha() == "cafebabe"
+
+    def test_wrong_family_rejected(self):
+        problems = validate_document(make_doc("fastpath"), family="sched")
+        assert any("repro-bench-sched" in p for p in problems)
+
+    def test_future_schema_version_rejected(self):
+        doc = make_doc()
+        doc["schema_version"] = SCHEMA_VERSION + 1
+        assert any("schema_version" in p for p in validate_document(doc))
+
+    def test_missing_pieces_rejected(self):
+        for key in ("schema", "meta", "config", "checks"):
+            doc = make_doc()
+            del doc[key]
+            assert validate_document(doc), "missing %s accepted" % key
+
+    def test_non_bool_check_rejected(self):
+        doc = make_doc()
+        doc["checks"][0]["passed"] = "yes"
+        assert any("passed" in p for p in validate_document(doc))
+
+    def test_checks_passed(self):
+        assert checks_passed(make_doc(passed=True))
+        assert not checks_passed(make_doc(passed=False))
+
+    def test_by_schema_tag(self):
+        assert workloads.by_schema_tag("repro-bench-chaos/1") \
+            is workloads.get("chaos")
+        assert workloads.by_schema_tag("repro-bench-matrix/1") is None
+        assert workloads.by_schema_tag("something-else/1") is None
+        assert workloads.by_schema_tag(None) is None
+
+    def test_resolve_seed_priority(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_SEED", raising=False)
+        assert workloads.resolve_seed(None, default=42) == 42
+        assert workloads.resolve_seed(5, default=42) == 5
+        monkeypatch.setenv("REPRO_FAULT_SEED", "303")
+        assert workloads.resolve_seed(None, default=42) == 303
+        assert workloads.resolve_seed(5, default=42) == 5
+
+
+# -- trend lines --------------------------------------------------------------
+
+
+def trend(scenario="s", sha="aaa", quick=True, passed=True,
+          metrics=None):
+    return make_trend_line(
+        scenario, "matrix", metrics or {"throughput_mpps": 2.0},
+        {"git_sha": sha, "seed": 1, "quick": quick,
+         "created_unix": 1.0},
+        passed,
+    )
+
+
+class TestTrendLines:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trends.jsonl")
+        append_trend_line(path, trend(sha="one"))
+        append_trend_line(path, trend(sha="two"))
+        lines = read_trend_lines(path)
+        assert [line["git_sha"] for line in lines] == ["one", "two"]
+        assert validate_trend_file(path) == []
+
+    def test_append_refuses_invalid(self, tmp_path):
+        path = str(tmp_path / "trends.jsonl")
+        bad = trend()
+        bad["metrics"] = {}
+        with pytest.raises(ValueError):
+            append_trend_line(path, bad)
+        assert not os.path.exists(path)
+
+    def test_validate_catches_bad_lines(self, tmp_path):
+        path = tmp_path / "trends.jsonl"
+        path.write_text("not json\n"
+                        + json.dumps({"schema_version": 99}) + "\n")
+        problems = validate_trend_file(str(path))
+        assert any(p.startswith("line 1:") for p in problems)
+        assert any(p.startswith("line 2:") for p in problems)
+
+    def test_metrics_must_be_numbers(self):
+        bad = trend()
+        bad["metrics"]["throughput_mpps"] = True
+        assert validate_trend_line(bad)
+
+    def test_tail_filters_scenario_and_sizing(self):
+        lines = ([trend("a", quick=True)] * 3
+                 + [trend("a", quick=False)] * 2
+                 + [trend("b", quick=True)])
+        assert len(tail_by_scenario(lines, "a", quick=True)) == 3
+        assert len(tail_by_scenario(lines, "a", quick=False)) == 2
+        assert len(tail_by_scenario(lines, "a")) == 5
+        assert len(tail_by_scenario(lines, "a", window=2)) == 2
+        assert tail_by_scenario(lines, "zzz") == []
+
+
+# -- the regression gate ------------------------------------------------------
+
+
+class TestGateDirections:
+    def test_convention(self):
+        direction = bench_gate.metric_direction
+        assert direction("vec_throughput_mpps") == "higher"
+        assert direction("zero_loss_pps") == "higher"
+        assert direction("precise_emc_hit_rate") == "higher"
+        assert direction("repaired_recovery_ratio") == "higher"
+        assert direction("p99_us_64f") == "lower"
+        assert direction("bypass_restore_seconds") == "lower"
+        assert direction("loss_fraction_0r") == "lower"
+        assert direction("vec_cycles_per_packet") == "lower"
+        assert direction("duration_s") == "lower"
+        assert direction("crashes") == "neutral"
+
+    def test_loss_rate_is_a_loss(self):
+        assert bench_gate.metric_direction("loss_rate") == "lower"
+
+
+class TestGateLine:
+    def history(self, value, scenario="s", n=3, name="throughput_mpps"):
+        return [trend(scenario, sha="h%d" % i,
+                      metrics={name: value}) for i in range(n)]
+
+    def test_regression_higher_better(self):
+        problems, _ = bench_gate.gate_line(
+            trend(metrics={"throughput_mpps": 1.0}),
+            self.history(2.0), window=5, tolerance=0.10)
+        assert any("regressed" in p for p in problems)
+
+    def test_within_band_passes(self):
+        problems, _ = bench_gate.gate_line(
+            trend(metrics={"throughput_mpps": 1.85}),
+            self.history(2.0), window=5, tolerance=0.10)
+        assert problems == []
+
+    def test_regression_lower_better(self):
+        problems, _ = bench_gate.gate_line(
+            trend(metrics={"p99_us": 30.0}),
+            self.history(10.0, name="p99_us"),
+            window=5, tolerance=0.10)
+        assert any("regressed" in p for p in problems)
+
+    def test_improvement_never_fails(self):
+        problems, _ = bench_gate.gate_line(
+            trend(metrics={"p99_us": 1.0}),
+            self.history(10.0, name="p99_us"),
+            window=5, tolerance=0.10)
+        assert problems == []
+
+    def test_failed_checks_fail_outright(self):
+        problems, _ = bench_gate.gate_line(
+            trend(passed=False), [], window=5, tolerance=0.10)
+        assert any("checks_passed" in p for p in problems)
+
+    def test_no_history_is_a_note(self):
+        problems, notes = bench_gate.gate_line(
+            trend(), [], window=5, tolerance=0.10)
+        assert problems == []
+        assert any("no comparable history" in n for n in notes)
+
+    def test_quick_never_compared_to_full(self):
+        history = [trend(sha="h", quick=False,
+                         metrics={"throughput_mpps": 100.0})]
+        problems, notes = bench_gate.gate_line(
+            trend(quick=True, metrics={"throughput_mpps": 1.0}),
+            history, window=5, tolerance=0.10)
+        assert problems == []
+
+    def test_sentinel_baseline_not_gated(self):
+        history = [trend(sha="h",
+                         metrics={"bypass_restore_seconds": -1.0})]
+        problems, notes = bench_gate.gate_line(
+            trend(metrics={"bypass_restore_seconds": 5.0}),
+            history, window=5, tolerance=0.10)
+        assert problems == []
+        assert any("not gateable" in n for n in notes)
+
+    def test_neutral_metric_ignored(self):
+        history = [trend(sha="h", metrics={"crashes": 100.0})]
+        problems, _ = bench_gate.gate_line(
+            trend(metrics={"crashes": 1.0}), history,
+            window=5, tolerance=0.10)
+        assert problems == []
+
+    def test_median_baseline(self):
+        assert bench_gate.median([1.0, 9.0, 2.0]) == 2.0
+        assert bench_gate.median([1.0, 3.0]) == 2.0
+
+
+class TestGateMain:
+    def write(self, tmp_path, lines, name="trends.jsonl"):
+        path = str(tmp_path / name)
+        for line in lines:
+            append_trend_line(path, line)
+        return path
+
+    def test_head_group_passes_against_itself_history(self, tmp_path):
+        path = self.write(tmp_path, [
+            trend(sha="old", metrics={"throughput_mpps": 2.0}),
+            trend(sha="new", metrics={"throughput_mpps": 1.95}),
+        ])
+        assert bench_gate.main(["--trends", path]) == 0
+
+    def test_head_group_regression_fails(self, tmp_path):
+        path = self.write(tmp_path, [
+            trend(sha="old", metrics={"throughput_mpps": 2.0}),
+            trend(sha="new", metrics={"throughput_mpps": 0.5}),
+        ])
+        assert bench_gate.main(["--trends", path]) == 1
+
+    def test_explicit_current_file(self, tmp_path):
+        history = self.write(tmp_path, [
+            trend(sha="old", metrics={"throughput_mpps": 2.0})])
+        current = self.write(tmp_path, [
+            trend(sha="new", metrics={"throughput_mpps": 0.5})],
+            name="current.jsonl")
+        assert bench_gate.main(["--trends", history,
+                                "--current", current]) == 1
+        good = self.write(tmp_path, [
+            trend(sha="new2", metrics={"throughput_mpps": 2.1})],
+            name="good.jsonl")
+        assert bench_gate.main(["--trends", history,
+                                "--current", good]) == 0
+
+    def test_schema_problem_exits_2(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{}\n")
+        assert bench_gate.main(["--trends", str(path)]) == 2
+
+    def test_schema_only(self, tmp_path):
+        path = self.write(tmp_path, [trend()])
+        assert bench_gate.main(["--trends", path, "--schema-only"]) == 0
+
+    def test_first_run_creates_baseline(self, tmp_path):
+        path = self.write(tmp_path, [trend(sha="only")])
+        assert bench_gate.main(["--trends", path]) == 0

@@ -1,0 +1,121 @@
+"""Property tests for the RFC2544 harness and latency percentiles.
+
+With a deterministic hard-capacity runner the zero-loss binary search
+is an exact algorithm, so its contract can be stated as properties:
+the result brackets the true capacity, is monotone in capacity, and
+loss curves of a capacity-limited device never bend downward.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import OfferedPoint, Rfc2544Harness
+from repro.metrics.latency import LatencyRecorder
+
+SEARCH_LO = 1e5
+SEARCH_HI = 1e7
+
+
+def capacity_runner(capacity_pps):
+    def run(offered_pps):
+        duration = 0.01
+        sent = max(1, int(offered_pps * duration))
+        delivered = min(sent, max(0, int(capacity_pps * duration)))
+        return OfferedPoint(
+            offered_pps=offered_pps, duration=duration, sent=sent,
+            delivered=delivered,
+            throughput_mpps=delivered / duration / 1e6,
+        )
+
+    return run
+
+
+def search(capacity):
+    harness = Rfc2544Harness(capacity_runner(capacity),
+                             resolution=0.05, max_iterations=32)
+    return harness.zero_loss_search(SEARCH_LO, SEARCH_HI)
+
+
+capacities = st.floats(min_value=1e4, max_value=1e8,
+                       allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(capacity=capacities)
+def test_search_brackets_capacity(capacity):
+    result = search(capacity)
+    # The passing side never exceeds what the device can actually do.
+    assert result.zero_loss_pps <= max(capacity, 0) + 1e-6 \
+        or result.zero_loss_pps == SEARCH_HI and capacity >= SEARCH_HI
+    if SEARCH_LO < capacity < SEARCH_HI:
+        assert result.lo_pps <= capacity
+        # hi is the lowest failing load seen: always above capacity
+        # (quantized to whole frames over the 0.01 s window).
+        assert result.hi_pps >= capacity * 0.99
+    elif capacity >= SEARCH_HI:
+        assert result.converged and result.zero_loss_pps == SEARCH_HI
+    else:
+        assert result.zero_loss_pps in (0.0, SEARCH_LO) \
+            or result.zero_loss_pps <= capacity
+
+
+@settings(max_examples=25, deadline=None)
+@given(pair=st.tuples(capacities, capacities))
+def test_search_monotone_in_capacity(pair):
+    low, high = sorted(pair)
+    assert search(low).zero_loss_pps <= search(high).zero_loss_pps \
+        + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    capacity=capacities,
+    loads=st.lists(st.floats(min_value=1e4, max_value=1e8),
+                   min_size=2, max_size=8),
+)
+def test_loss_curve_never_bends_down(capacity, loads):
+    harness = Rfc2544Harness(capacity_runner(capacity))
+    points = harness.loss_curve(loads)
+    offered = [point.offered_pps for point in points]
+    assert offered == sorted(offered)
+    losses = [point.loss_fraction for point in points]
+    # Frame quantization can wiggle a point by one frame; allow that.
+    for earlier, later in zip(losses, losses[1:]):
+        assert later >= earlier - 1e-3
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(min_value=0, max_value=1e3,
+                                 allow_nan=False), min_size=1,
+                       max_size=200))
+def test_percentiles_are_ordered_and_bounded(values):
+    recorder = LatencyRecorder()
+    for value in values:
+        recorder.record(value)
+    fractions = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0]
+    out = recorder.percentiles(fractions)
+    assert out == sorted(out)
+    assert out[0] == min(values)
+    assert out[-1] == max(values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    first=st.lists(st.floats(min_value=0, max_value=1e3,
+                             allow_nan=False), max_size=100),
+    second=st.lists(st.floats(min_value=0, max_value=1e3,
+                              allow_nan=False), max_size=100),
+)
+def test_merge_preserves_percentile_ordering(first, second):
+    merged = LatencyRecorder()
+    for values in (first, second):
+        recorder = LatencyRecorder()
+        for value in values:
+            recorder.record(value)
+        merged.merge(recorder)
+    assert merged.count == len(first) + len(second)
+    out = merged.percentiles([0.1, 0.5, 0.9, 0.99])
+    assert out == sorted(out)
+    if first or second:
+        population = first + second
+        assert min(population) <= out[0] <= out[-1] <= max(population)
