@@ -10,7 +10,9 @@ comparable runs (same scenario, same quick/full sizing).
 
 Metric direction follows the naming convention the workloads share:
 
-* **higher is better**: ``*mpps``, ``*pps``, ``*rate``, ``*ratio``,
+* **higher is better**: any throughput unit token (``*mpps*``,
+  ``*pps``, ``*_pps_*``) — decided first, so ``zero_loss_mpps_64b``
+  measures a rate, not a loss — then ``*rate``, ``*ratio``,
   ``*gain*``, ``*preserved*``;
 * **lower is better**: ``*_us``, ``*_s``/``*seconds*``, ``*loss*``,
   ``*drop*``, ``*cycles*``;
@@ -46,12 +48,14 @@ LOWER_TOKENS = ("_us", "seconds", "loss", "drop", "cycles")
 def metric_direction(name):
     """``higher`` / ``lower`` / ``neutral`` from the metric's name.
 
-    A throughput unit suffix decides first (``zero_loss_pps`` measures
-    rate, not loss); otherwise lower-is-better tokens win ties
-    (``loss_rate`` is a loss first).
+    A throughput unit token anywhere in the name decides first —
+    ``zero_loss_mpps_64b`` and ``zero_loss_pps`` measure a rate, not a
+    loss, even with a per-size suffix after the unit; otherwise
+    lower-is-better tokens win ties (``loss_rate`` is a loss first).
     """
     lowered = name.lower()
-    if lowered.endswith(("mpps", "pps")):
+    if ("mpps" in lowered or lowered.endswith("pps")
+            or "_pps_" in lowered):
         return "higher"
     if lowered.endswith("_s") or any(token in lowered
                                      for token in LOWER_TOKENS):

@@ -339,13 +339,22 @@ def validate(doc):
 def trend_metrics(doc):
     rep = doc["scenarios"]["repaired"]
     unrep = doc["scenarios"]["unrepaired"]
-    restore = rep["bypass_restore_seconds"]
-    return {
+    metrics = {
         "repaired_recovery_ratio": rep["recovery_ratio"],
-        "unrepaired_recovery_ratio": unrep["recovery_ratio"],
-        "bypass_restore_seconds": restore if restore is not None else -1.0,
+        # The no-repairer control: a *drop* here widens the repairer's
+        # benefit, so it must not gate higher-is-better — name it
+        # without the "ratio" token to keep it informational.
+        "unrepaired_recovery_control": unrep["recovery_ratio"],
         "crashes": rep["crashes"],
     }
+    # A never-restored run omits the metric rather than emitting a
+    # sentinel: the gate notes missing metrics, while a -1.0 would
+    # read as an "improvement" and poison the baseline median.  The
+    # restore-happened failure itself is caught by run_checks.
+    restore = rep["bypass_restore_seconds"]
+    if restore is not None:
+        metrics["bypass_restore_seconds"] = restore
+    return metrics
 
 
 # -- driver -------------------------------------------------------------------

@@ -152,19 +152,87 @@ class TestTrendLines:
 # -- the regression gate ------------------------------------------------------
 
 
+#: Every trend-metric name the scenario matrix and the four workload
+#: families can emit (quick and full sizings), with its gate
+#: direction.  A new headline metric must be added here — the
+#: committed-trend-file test below fails on unclassified names.
+EXPECTED_DIRECTIONS = {}
+EXPECTED_DIRECTIONS.update({
+    # zero_loss_pktsize / zero_loss_chain_length sweeps
+    "zero_loss_mpps_%db" % size: "higher" for size in (64, 256, 1024)})
+EXPECTED_DIRECTIONS.update({
+    "zero_loss_mpps_%dvm" % n: "higher" for n in (2, 3, 4)})
+for _count in (4, 64, 256):  # flow_scale_zipf
+    EXPECTED_DIRECTIONS["loss_fraction_%df" % _count] = "lower"
+    EXPECTED_DIRECTIONS["p99_us_%df" % _count] = "lower"
+for _rules in (0, 128, 512):  # rule_scale
+    EXPECTED_DIRECTIONS["throughput_mpps_%dr" % _rules] = "higher"
+    EXPECTED_DIRECTIONS["loss_fraction_%dr" % _rules] = "lower"
+for _hz in (0, 1000, 2000, 4000):  # flowmod_churn
+    EXPECTED_DIRECTIONS["loss_fraction_%dhz" % _hz] = "lower"
+    EXPECTED_DIRECTIONS["p99_us_%dhz" % _hz] = "lower"
+EXPECTED_DIRECTIONS.update({
+    # rebalance_under_load + sched family
+    "static_mpps": "higher",
+    "cycles_mpps": "higher",
+    "auto_lb_mpps": "higher",
+    "auto_lb_gain_mpps": "higher",
+    "rxq_port_moves": "neutral",
+    # fastpath family
+    "vec_cycles_per_packet": "lower",
+    "vec_throughput_mpps": "higher",
+    "precise_emc_hit_rate": "higher",
+    "bypass_nic_mpps": "higher",
+    "bypass_latency_us": "lower",
+    # overload family
+    "bounded_goodput_mpps": "higher",
+    "inline_goodput_mpps": "higher",
+    "standalone_outage_mpps": "higher",
+    "secure_flows_preserved": "higher",
+    # chaos family
+    "repaired_recovery_ratio": "higher",
+    "unrepaired_recovery_control": "neutral",
+    "bypass_restore_seconds": "lower",
+    "crashes": "neutral",
+})
+
+_TRENDS_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "BENCH_TRENDS.jsonl")
+
+
 class TestGateDirections:
+    @pytest.mark.parametrize(
+        "name,expected", sorted(EXPECTED_DIRECTIONS.items()))
+    def test_every_emitted_metric_name(self, name, expected):
+        assert bench_gate.metric_direction(name) == expected
+
+    def test_committed_trend_metrics_all_classified(self):
+        """Every name in the committed trend file is in the expected
+        map — an unclassified (or silently re-classified) headline
+        metric cannot slip into history."""
+        names = set()
+        with open(_TRENDS_PATH) as handle:
+            for line in handle:
+                names.update(json.loads(line)["metrics"])
+        assert names, "committed trend file carries no metrics"
+        unclassified = names - set(EXPECTED_DIRECTIONS)
+        assert not unclassified, (
+            "trend metrics missing from EXPECTED_DIRECTIONS: %s"
+            % sorted(unclassified))
+
     def test_convention(self):
         direction = bench_gate.metric_direction
-        assert direction("vec_throughput_mpps") == "higher"
         assert direction("zero_loss_pps") == "higher"
-        assert direction("precise_emc_hit_rate") == "higher"
-        assert direction("repaired_recovery_ratio") == "higher"
-        assert direction("p99_us_64f") == "lower"
-        assert direction("bypass_restore_seconds") == "lower"
-        assert direction("loss_fraction_0r") == "lower"
-        assert direction("vec_cycles_per_packet") == "lower"
         assert direction("duration_s") == "lower"
-        assert direction("crashes") == "neutral"
+        assert direction("offered_pps_total") == "higher"
+
+    def test_unit_token_beats_loss_token(self):
+        # The flagship RFC2544 sweeps: a per-size suffix after the
+        # unit must not flip zero-loss throughput to lower-is-better.
+        assert bench_gate.metric_direction("zero_loss_mpps_64b") \
+            == "higher"
+        assert bench_gate.metric_direction("zero_loss_mpps_2vm") \
+            == "higher"
 
     def test_loss_rate_is_a_loss(self):
         assert bench_gate.metric_direction("loss_rate") == "lower"
