@@ -95,6 +95,7 @@ def script_main(family: str, argv=None) -> int:
 
 
 def bench_main(argv=None) -> int:
+    from repro.bench import scenarios as scenarios_mod
     from repro.bench.scenarios import SCENARIOS, run_scenario
     from repro.bench.state import BenchState
     from repro.obs.export import prometheus_text
@@ -125,6 +126,13 @@ def bench_main(argv=None) -> int:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="also write the harness registry in "
                              "Prometheus text format")
+    parser.add_argument("--megaflow", dest="megaflow",
+                        action="store_true", default=True,
+                        help="keep the megaflow cache tier on (default)")
+    parser.add_argument("--no-megaflow", dest="megaflow",
+                        action="store_false",
+                        help="ablate the megaflow cache tier in the "
+                             "scenarios that honor it (rule_scale)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -152,6 +160,7 @@ def bench_main(argv=None) -> int:
         parser.error("unknown scenario(s): %s (see --list)"
                      % ", ".join(unknown))
 
+    scenarios_mod.MEGAFLOW_ENABLED = args.megaflow
     os.makedirs(args.out_dir, exist_ok=True)
     trends_path = args.trends or os.path.join(args.out_dir,
                                               TRENDS_BASENAME)

@@ -37,6 +37,12 @@ SEARCH_MAX_PPS = 4.0e7
 #: pressure axis, not by the load itself.
 PRESSURE_PPS = 4.0e6
 
+#: Ablation override for the megaflow (wildcard) cache tier, flipped by
+#: ``python -m repro.bench --no-megaflow``.  The rule-count sweep is the
+#: scenario the tier is built for, so it is the one that honors the
+#: switch; the config block of its document records the setting.
+MEGAFLOW_ENABLED = True
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -203,11 +209,13 @@ def _run_rule_scale(quick, seed, registry):
         "quick": quick, "rule_counts": list(rule_counts),
         "offered_pps": PRESSURE_PPS, "duration_s": duration,
         "num_vms": 3, "bypass": False,
+        "megaflow_enabled": MEGAFLOW_ENABLED,
     })
     sweep, checks, trend = [], [], {}
     for rules in rule_counts:
         runner = ChainLoadRunner(num_vms=3, bypass=False,
-                                 duration=duration, extra_rules=rules)
+                                 duration=duration, extra_rules=rules,
+                                 megaflow_enabled=MEGAFLOW_ENABLED)
         harness = _harness(runner, registry,
                            "rules_%d" % rules, quick)
         point = harness.measure(PRESSURE_PPS)

@@ -33,8 +33,8 @@ GENERATOR = "scripts/bench_baseline.py"
 DEFAULT_OUT = "BENCH_fastpath.json"
 DEFAULT_SEED = None
 
-LOOKUP_STAGES = ("emc_lookup", "smc_lookup", "classifier_lookup",
-                 "miss_upcall")
+LOOKUP_STAGES = ("emc_lookup", "smc_lookup", "megaflow_lookup",
+                 "classifier_lookup", "miss_upcall")
 
 
 # -- measurement helpers ------------------------------------------------------
@@ -135,6 +135,87 @@ def emc_invalidation_workload(mode, bursts, flows=32, burst_size=32,
     }
 
 
+def megaflow_rule_scale_workload(enabled, bursts, extra_rules=64,
+                                 burst_size=32, warmup_bursts=4):
+    """Rule-heavy tables under EMC-unfriendly flow churn: every packet
+    is a brand-new UDP flow (fresh ``l4_src``), so the exact-match tiers
+    never amortize anything, while ``extra_rules`` masked filler rules
+    outrank the forwarding rule and force every dpcls lookup through
+    their subtables first.  With the megaflow cache on, the first
+    resolution unwildcards only ``eth_src`` + ``in_port`` — one cached
+    aggregate entry then serves every subsequent flow.
+
+    The SMC is disabled here deliberately: the simulated SMC stores no
+    key-hash tag, so an ever-new-flow workload would spuriously
+    validate colliding hints through the match-all forwarding subtable
+    (real OVS tags SMC slots and ships with the SMC off by default).
+    Cycles/packet comes from the summed synchronous dataplane cost over
+    the post-warmup window.
+    """
+    switch = VSwitchd(name="bench-mf-%s" % ("on" if enabled else "off"))
+    datapath = switch.datapath
+    datapath.megaflow_enabled = enabled
+    datapath.smc_enabled = False
+    rx = switch.add_dpdkr_port("rx")
+    tx = switch.add_dpdkr_port("tx")
+    table = switch.bridge.table
+    # Filler rules over four eth_src mask widths (four subtables), at a
+    # priority above the forwarding rule so the ranked probe order
+    # visits them all first.  The 0x0A top byte guarantees the traffic
+    # (src MAC 02:...) never matches one.
+    full = (1 << 48) - 1
+    for index in range(extra_rules):
+        shift = (0, 8, 16, 24)[index % 4]
+        mask = (full << shift) & full
+        value = (0x0A_00_00_00_00_00 | index << shift) & mask
+        table.add(FlowEntry(
+            Match(eth_src=(value, mask)), [], priority=20,
+        ))
+    table.add(FlowEntry(
+        Match(in_port=rx.ofport), [OutputAction(tx.ofport)], priority=10,
+    ))
+    sent = 0
+    measured_cost = 0.0
+    baseline = None
+    for burst in range(bursts):
+        if burst == warmup_bursts:
+            baseline = {
+                "megaflow_hits": datapath.megaflow_hits,
+                "dpcls_lookups": datapath.classifier.lookups,
+                "cache_hits": datapath.megaflow.hits,
+                "cache_misses": datapath.megaflow.misses,
+            }
+        for _ in range(burst_size):
+            mbuf = Mbuf()
+            mbuf.packet = make_udp_packet(src_port=1000 + sent)
+            mbuf.wire_length = mbuf.packet.wire_length
+            rx.rings.to_switch.enqueue(mbuf)
+            sent += 1
+        cost = switch.step_dataplane()
+        if baseline is not None:
+            measured_cost += cost
+        tx.rings.to_guest.dequeue_burst(burst_size)
+    packets = (bursts - warmup_bursts) * burst_size
+    megaflow_hits = datapath.megaflow_hits - baseline["megaflow_hits"]
+    dpcls_lookups = (datapath.classifier.lookups
+                     - baseline["dpcls_lookups"])
+    cache_hits = datapath.megaflow.hits - baseline["cache_hits"]
+    cache_misses = datapath.megaflow.misses - baseline["cache_misses"]
+    return {
+        "megaflow": enabled,
+        "extra_rules": extra_rules,
+        "bursts": bursts,
+        "packets": packets,
+        "cycles_per_packet": round(
+            seconds_to_cycles(measured_cost) / packets, 2),
+        "megaflow_hit_rate": round(hit_rate(cache_hits, cache_misses), 4),
+        "megaflow_hits": megaflow_hits,
+        "dpcls_lookups": dpcls_lookups,
+        "megaflow_entries": len(datapath.megaflow),
+        "megaflow_masks": datapath.megaflow.mask_count,
+    }
+
+
 def chain_pair(duration, memory_only, measure):
     out = {}
     for bypass in (False, True):
@@ -156,6 +237,7 @@ def run_checks(doc):
     inval = doc["workloads"]["emc_invalidation"]
     fig3b = doc["workloads"]["fig3b_nic_chain"]
     latency = doc["workloads"]["latency_chain"]
+    mega = doc["workloads"]["megaflow_rule_scale"]
     checks = [
         ("vectorized_cycles_per_packet_lower",
          vec["cycles_per_packet"] < scalar["cycles_per_packet"],
@@ -180,6 +262,26 @@ def run_checks(doc):
          < latency["vanilla"]["mean_latency_us"],
          "%.2f < %.2f" % (latency["bypass"]["mean_latency_us"],
                           latency["vanilla"]["mean_latency_us"])),
+        ("megaflow_cycles_per_packet_lower",
+         mega["enabled"]["cycles_per_packet"]
+         < mega["disabled"]["cycles_per_packet"],
+         "%.2f < %.2f (%.1f%% saved)"
+         % (mega["enabled"]["cycles_per_packet"],
+            mega["disabled"]["cycles_per_packet"],
+            100 * (1 - mega["enabled"]["cycles_per_packet"]
+                   / max(mega["disabled"]["cycles_per_packet"], 1e-9)))),
+        ("megaflow_hits_exceed_dpcls_lookups",
+         mega["enabled"]["megaflow_hits"]
+         > mega["enabled"]["dpcls_lookups"],
+         "%d > %d after warmup"
+         % (mega["enabled"]["megaflow_hits"],
+            mega["enabled"]["dpcls_lookups"])),
+        ("megaflow_covers_aggregate",
+         mega["enabled"]["megaflow_hit_rate"] > 0.9
+         and mega["enabled"]["megaflow_entries"] <= 4,
+         "hit rate %.4f with %d entries"
+         % (mega["enabled"]["megaflow_hit_rate"],
+            mega["enabled"]["megaflow_entries"])),
     ]
     return checks
 
@@ -195,6 +297,11 @@ REQUIRED_INVALIDATION_KEYS = {
     "invalidation", "flows", "bursts", "flowmods", "emc_hit_rate",
     "emc_hits", "emc_misses", "precise_evictions",
 }
+REQUIRED_MEGAFLOW_KEYS = {
+    "megaflow", "extra_rules", "bursts", "packets", "cycles_per_packet",
+    "megaflow_hit_rate", "megaflow_hits", "dpcls_lookups",
+    "megaflow_entries", "megaflow_masks",
+}
 
 
 def validate(doc):
@@ -202,7 +309,7 @@ def validate(doc):
     problems = validate_document(doc, family=FAMILY)
     workloads = doc.get("workloads", {})
     for name in ("fig3a_fastpath", "emc_invalidation", "fig3b_nic_chain",
-                 "latency_chain"):
+                 "latency_chain", "megaflow_rule_scale"):
         if name not in workloads:
             problems.append("missing workload %s" % name)
     fast = workloads.get("fig3a_fastpath", {})
@@ -222,6 +329,12 @@ def validate(doc):
         for variant in ("vanilla", "bypass"):
             if variant not in workloads.get(name, {}):
                 problems.append("%s missing %s" % (name, variant))
+    mega = workloads.get("megaflow_rule_scale", {})
+    for variant in ("enabled", "disabled"):
+        missing = missing_keys(mega.get(variant), REQUIRED_MEGAFLOW_KEYS)
+        if missing:
+            problems.append("megaflow_rule_scale.%s missing %s"
+                            % (variant, missing))
     return problems
 
 
@@ -234,12 +347,16 @@ def trend_metrics(doc):
     inval = doc["workloads"]["emc_invalidation"]
     fig3b = doc["workloads"]["fig3b_nic_chain"]
     latency = doc["workloads"]["latency_chain"]
+    mega = doc["workloads"]["megaflow_rule_scale"]
     return {
         "vec_cycles_per_packet": fast["vectorized"]["cycles_per_packet"],
         "vec_throughput_mpps": fast["vectorized"]["throughput_mpps"],
         "precise_emc_hit_rate": inval["precise"]["emc_hit_rate"],
         "bypass_nic_mpps": fig3b["bypass"]["throughput_mpps"],
         "bypass_latency_us": latency["bypass"]["mean_latency_us"],
+        "megaflow_hit_rate": mega["enabled"]["megaflow_hit_rate"],
+        "rule_scale_cycles_per_packet":
+            mega["enabled"]["cycles_per_packet"],
     }
 
 
@@ -249,29 +366,31 @@ def trend_metrics(doc):
 def run_bench(quick, seed=None):
     chain_duration = 0.001 if quick else 0.003
     churn_bursts = 64 if quick else 256
+    rule_scale_bursts = 64 if quick else 512
     doc = new_doc(FAMILY, GENERATOR, quick, resolve_seed(seed), {
         "quick": quick,
         "chain_duration_s": chain_duration,
         "churn_bursts": churn_bursts,
+        "rule_scale_bursts": rule_scale_bursts,
     })
     doc["workloads"] = {}
     workloads = doc["workloads"]
 
-    print("[1/4] fig3a memory chain, vectorized vs scalar "
+    print("[1/5] fig3a memory chain, vectorized vs scalar "
           "(3 VMs, 64 flows, burst 32)...", file=sys.stderr)
     workloads["fig3a_fastpath"] = {
         "vectorized": chain_fastpath(True, chain_duration),
         "scalar": chain_fastpath(False, chain_duration),
     }
 
-    print("[2/4] EMC invalidation under rolling flowmods...",
+    print("[2/5] EMC invalidation under rolling flowmods...",
           file=sys.stderr)
     workloads["emc_invalidation"] = {
         "precise": emc_invalidation_workload("precise", churn_bursts),
         "generation": emc_invalidation_workload("generation", churn_bursts),
     }
 
-    print("[3/4] fig3b NIC chain, bypass vs vanilla...", file=sys.stderr)
+    print("[3/5] fig3b NIC chain, bypass vs vanilla...", file=sys.stderr)
     workloads["fig3b_nic_chain"] = chain_pair(
         chain_duration, memory_only=False,
         measure=lambda result: {
@@ -279,12 +398,19 @@ def run_bench(quick, seed=None):
         },
     )
 
-    print("[4/4] chain latency, bypass vs vanilla...", file=sys.stderr)
+    print("[4/5] chain latency, bypass vs vanilla...", file=sys.stderr)
     workloads["latency_chain"] = chain_pair(
         chain_duration, memory_only=True,
         measure=lambda result: {
             "mean_latency_us": round(result.mean_latency * 1e6, 3),
         },
     )
+
+    print("[5/5] megaflow rule scale, enabled vs disabled "
+          "(64 filler rules, all-new flows)...", file=sys.stderr)
+    workloads["megaflow_rule_scale"] = {
+        "enabled": megaflow_rule_scale_workload(True, rule_scale_bursts),
+        "disabled": megaflow_rule_scale_workload(False, rule_scale_bursts),
+    }
 
     return attach_checks(doc, run_checks(doc))

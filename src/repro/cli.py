@@ -103,6 +103,14 @@ def _overload_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _fastpath_kwargs(args: argparse.Namespace) -> dict:
+    """ChainExperiment fast-path kwargs (--megaflow/--no-megaflow)."""
+    kwargs = {}
+    if not getattr(args, "megaflow", True):
+        kwargs["megaflow_enabled"] = False
+    return kwargs
+
+
 def cmd_fig3(args: argparse.Namespace, memory_only: bool) -> int:
     rows = []
     last_experiment = None
@@ -118,7 +126,8 @@ def cmd_fig3(args: argparse.Namespace, memory_only: bool) -> int:
                 trace_sample=args.trace_sample,
                 snapshot_period=args.snapshot_period,
                 **_sched_kwargs(args),
-                **_overload_kwargs(args)
+                **_overload_kwargs(args),
+                **_fastpath_kwargs(args)
             )
             result = experiment.run()
             line.append(round(result.throughput_mpps, 3))
@@ -145,7 +154,8 @@ def cmd_latency(args: argparse.Namespace) -> int:
             trace_sample=args.trace_sample,
             snapshot_period=args.snapshot_period,
             **_sched_kwargs(args),
-            **_overload_kwargs(args)
+            **_overload_kwargs(args),
+            **_fastpath_kwargs(args)
         )
         ours = experiment.run()
         last_experiment = experiment
@@ -264,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--overload-control", action="store_true",
                        help="enable the RX overload monitor "
                             "(qlen-driven early drop)")
+        p.add_argument("--megaflow", dest="megaflow",
+                       action="store_true", default=True,
+                       help="enable the megaflow (wildcard) cache tier "
+                            "(default)")
+        p.add_argument("--no-megaflow", dest="megaflow",
+                       action="store_false",
+                       help="ablate the megaflow cache tier")
 
     p3a = sub.add_parser("fig3a", help="Figure 3(a): memory-only chains")
     common(p3a, _parse_range("2:8"))

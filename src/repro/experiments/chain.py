@@ -110,6 +110,7 @@ class ChainExperiment:
         wire_load: float = 1.0,
         burst_size: int = 32,
         emc_enabled: bool = True,
+        megaflow_enabled: bool = True,
         vectorized: bool = True,
         accounting_enabled: bool = True,
         trace_sample: Optional[int] = None,
@@ -145,6 +146,7 @@ class ChainExperiment:
         self.wire_load = wire_load
         self.burst_size = burst_size
         self.emc_enabled = emc_enabled
+        self.megaflow_enabled = megaflow_enabled
         self.vectorized = vectorized
         self.accounting_enabled = accounting_enabled
         self.trace_sample = trace_sample
@@ -204,8 +206,12 @@ class ChainExperiment:
         datapath.emc_enabled = self.emc_enabled
         datapath.vectorized = self.vectorized
         # The A-emc ablation measures life without the caches: disabling
-        # the EMC also disables the SMC so the classifier takes every hit.
+        # the EMC also disables the SMC and the megaflow cache so the
+        # classifier takes every hit.  --no-megaflow ablates the
+        # megaflow tier alone.
         datapath.smc_enabled = self.emc_enabled
+        datapath.megaflow_enabled = (self.megaflow_enabled
+                                     and self.emc_enabled)
         for vm_index in range(1, self.num_vms + 1):
             handle = self.node.create_vm(
                 "vm%d" % vm_index,

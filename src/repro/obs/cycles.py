@@ -27,6 +27,7 @@ STAGES = (
     "rx_bypass",
     "emc_lookup",
     "smc_lookup",
+    "megaflow_lookup",
     "classifier_lookup",
     "miss_upcall",
     "actions",

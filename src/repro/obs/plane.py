@@ -74,6 +74,7 @@ class Observability:
         self.registry.register_object(
             "repro_datapath", datapath,
             ("packets_processed", "emc_hits", "smc_hits",
+             "megaflow_hits",
              "classifier_hits", "pipeline_drops", "action_drops",
              "unknown_port_drops", "packets_mirrored", "flow_batches",
              "packets_batched"),
@@ -107,6 +108,13 @@ class Observability:
             ("hits", "misses", "insertions", "replacements"),
             labels={"switch": name},
             help="signature-match cache statistics",
+        )
+        self.registry.register_object(
+            "repro_megaflow", datapath.megaflow,
+            ("hits", "misses", "insertions", "refreshes", "evictions",
+             "stale_evictions", "invalidations", "stale_lookups"),
+            labels={"switch": name},
+            help="megaflow (wildcard) cache statistics",
         )
         # Precise-invalidation coverage events flow through the shared
         # coverage counters (control path only: flowmod frequency).

@@ -73,6 +73,7 @@ class NfvNode:
         failmode_policy=None,
         overload: bool = False,
         overload_policy=None,
+        megaflow_enabled: bool = True,
     ) -> None:
         self.env = env
         self.costs = costs
@@ -100,6 +101,7 @@ class NfvNode:
             overload=overload,
             overload_policy=overload_policy,
         )
+        self.switch.datapath.megaflow_enabled = megaflow_enabled
         if self.switch.failmode is not None:
             self.switch.failmode.faults = faults
         self.controller = SimpleController(self.connection)

@@ -25,6 +25,7 @@ class CostModel:
     # packet on the scalar path.
     ovs_emc_hit: float = 70 * NS
     ovs_smc_hit: float = 110 * NS     # signature hit + subtable verify
+    ovs_megaflow_hit: float = 160 * NS  # masked probe, no revalidation
     ovs_classifier_hit: float = 250 * NS
     ovs_miss_upcall: float = 50 * US
     # Action execution.  Applying the actions to a packet (header
@@ -74,6 +75,7 @@ class CostModel:
             self,
             ovs_emc_hit=self.ovs_emc_hit * factor,
             ovs_smc_hit=self.ovs_smc_hit * factor,
+            ovs_megaflow_hit=self.ovs_megaflow_hit * factor,
             ovs_classifier_hit=self.ovs_classifier_hit * factor,
             ovs_action_per_packet=self.ovs_action_per_packet * factor,
             ovs_scalar_dispatch=self.ovs_scalar_dispatch * factor,

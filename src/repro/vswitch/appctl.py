@@ -164,14 +164,24 @@ def fastpath_show(vswitchd: VSwitchd) -> str:
     datapath = vswitchd.datapath
     emc = datapath.emc
     smc = datapath.smc
+    megaflow = datapath.megaflow
+    # The miss-chain waterfall: of the packets each tier saw, how many
+    # did it resolve?  dpcls serves what no cache did.
+    dpcls_hits = (datapath.classifier_hits - datapath.smc_hits
+                  - datapath.megaflow_hits)
     lines = [
         "fast path: %s, burst size %d"
         % ("vectorized (flow batches)" if datapath.vectorized
            else "scalar (per-packet)", datapath.burst_size),
-        "lookup tiers: emc=%s smc=%s invalidation=%s"
+        "lookup tiers: emc=%s smc=%s megaflow=%s invalidation=%s"
         % ("on" if datapath.emc_enabled else "off",
            "on" if datapath.smc_enabled else "off",
+           "on" if datapath.megaflow_enabled else "off",
            datapath.emc_invalidation),
+        "miss chain: emc=%d -> smc=%d -> megaflow=%d -> dpcls=%d "
+        "-> upcall=%d"
+        % (datapath.emc_hits, datapath.smc_hits, datapath.megaflow_hits,
+           dpcls_hits, datapath.miss_upcalls),
         "emc: %d entries, hits=%d misses=%d (%.1f%% hit rate) stale=%d"
         % (len(emc), emc.hits, emc.misses, emc.hit_rate * 100,
            emc.stale_hits),
@@ -183,9 +193,18 @@ def fastpath_show(vswitchd: VSwitchd) -> str:
         "insertions=%d replacements=%d"
         % (len(smc), smc.hits, smc.misses, smc.hit_rate * 100,
            smc.insertions, smc.replacements),
-        "dpcls: %d lookups, %d subtables probed"
+        "megaflow: %d entries (%d masks), hits=%d misses=%d "
+        "(%.1f%% hit rate)"
+        % (len(megaflow), megaflow.mask_count, megaflow.hits,
+           megaflow.misses, megaflow.hit_rate * 100),
+        "megaflow: insertions=%d refreshes=%d evictions=%d "
+        "stale_evictions=%d invalidations=%d"
+        % (megaflow.insertions, megaflow.refreshes, megaflow.evictions,
+           megaflow.stale_evictions, megaflow.invalidations),
+        "dpcls: %d lookups, %d subtables probed, %d rank decay(s)"
         % (datapath.classifier.lookups,
-           datapath.classifier.subtables_probed),
+           datapath.classifier.subtables_probed,
+           datapath.classifier.rank_decays),
     ]
     for fields, rules, max_priority, hits in datapath.classifier.ranking():
         lines.append(" subtable [%s]: %d rule(s) max_priority=%d hits=%d"

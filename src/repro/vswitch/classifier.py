@@ -33,24 +33,95 @@ from repro.packet.flowkey import FlowKey
 MaskSignature = FrozenSet[Tuple[str, int]]
 MaskedValues = Tuple[Tuple[str, int], ...]
 
+#: OVS's staged-lookup groups: metadata, L2, L3, L4.  A subtable's
+#: fields are ordered by stage so a probe can prove a miss on an early
+#: prefix and unwildcard only the fields of the stages it examined —
+#: the heart of minimal-mask megaflow generation.
+_FIELD_STAGE = {
+    "in_port": 0,
+    "eth_src": 1, "eth_dst": 1, "eth_type": 1, "vlan_vid": 1,
+    "ip_src": 2, "ip_dst": 2, "ip_proto": 2, "ip_tos": 2,
+    "l4_src": 3, "l4_dst": 3,
+}
+
+
+def _stage_of(field: Tuple[str, int]) -> int:
+    return _FIELD_STAGE.get(field[0], len(_FIELD_STAGE))
+
 
 class _Subtable:
     """All rules sharing one mask signature."""
 
-    __slots__ = ("signature", "fields", "buckets", "max_priority", "hits")
+    __slots__ = ("signature", "fields", "buckets", "max_priority", "hits",
+                 "_stage_ends", "_stage_prefixes")
 
     def __init__(self, signature: MaskSignature) -> None:
         self.signature = signature
-        # Sorted field list so masked-value tuples are canonical.
-        self.fields: List[Tuple[str, int]] = sorted(signature)
+        # Canonical field order: by stage, then name — masked-value
+        # tuples are per-subtable canonical and stage prefixes are
+        # contiguous slices.
+        self.fields: List[Tuple[str, int]] = sorted(
+            signature, key=lambda field: (_stage_of(field), field[0])
+        )
         self.buckets: Dict[MaskedValues, List[FlowEntry]] = {}
         self.max_priority = 0
         self.hits = 0  # lookups that found a candidate here (rank input)
+        # Non-final stage boundaries (prefix lengths) and, per boundary,
+        # a refcounted set of the masked prefixes present among the
+        # rules — "is any rule compatible so far?" in one dict probe.
+        ends: List[int] = []
+        for index in range(1, len(self.fields)):
+            if _stage_of(self.fields[index]) \
+                    != _stage_of(self.fields[index - 1]):
+                ends.append(index)
+        self._stage_ends: Tuple[int, ...] = tuple(ends)
+        self._stage_prefixes: List[Dict[MaskedValues, int]] = [
+            {} for _ in ends
+        ]
 
     def mask_key(self, key: FlowKey) -> MaskedValues:
         return tuple(
             (name, getattr(key, name) & mask) for name, mask in self.fields
         )
+
+    def masked_key_staged(self, key: FlowKey, wc) -> Optional[MaskedValues]:
+        """Masked values of ``key``, or None when a stage prefix proves
+        no rule here can match.
+
+        ``wc`` (a :class:`~repro.vswitch.megaflow.FlowWildcards`)
+        accumulates the mask of every field actually examined: all
+        stages through the one that proved the miss, or every field on
+        a full probe.  Nothing past the miss stage is unwildcarded —
+        that is what keeps megaflow masks minimal.
+        """
+        fields = self.fields
+        values: List[Tuple[str, int]] = []
+        consumed = 0
+        for end, prefixes in zip(self._stage_ends, self._stage_prefixes):
+            for name, mask in fields[consumed:end]:
+                wc.add(name, mask)
+                values.append((name, getattr(key, name) & mask))
+            consumed = end
+            if tuple(values) not in prefixes:
+                return None
+        for name, mask in fields[consumed:]:
+            wc.add(name, mask)
+            values.append((name, getattr(key, name) & mask))
+        return tuple(values)
+
+    def index_stages(self, values: MaskedValues) -> None:
+        for end, prefixes in zip(self._stage_ends, self._stage_prefixes):
+            prefix = values[:end]
+            prefixes[prefix] = prefixes.get(prefix, 0) + 1
+
+    def unindex_stages(self, values: MaskedValues) -> None:
+        for end, prefixes in zip(self._stage_ends, self._stage_prefixes):
+            prefix = values[:end]
+            count = prefixes.get(prefix, 0) - 1
+            if count <= 0:
+                prefixes.pop(prefix, None)
+            else:
+                prefixes[prefix] = count
 
     def mask_entry(self, entry: FlowEntry) -> MaskedValues:
         return tuple(
@@ -82,6 +153,12 @@ _signature_of = signature_of
 class TupleSpaceClassifier:
     """The dpcls: subtable-per-mask lookup structure."""
 
+    #: Lookups between ranking-hit decays.  Without decay the ``hits``
+    #: rank input grows without bound and the probe order stays frozen
+    #: by historical traffic; halving on an interval keeps the ranking
+    #: adaptive while preserving the current relative order.
+    RANK_DECAY_INTERVAL = 4096
+
     def __init__(self, table: Optional[FlowTable] = None) -> None:
         self._subtables: Dict[MaskSignature, _Subtable] = {}
         # Subtables in probe order; rebuilt lazily when the set of
@@ -90,6 +167,7 @@ class TupleSpaceClassifier:
         self._rank_dirty = False
         self.lookups = 0
         self.subtables_probed = 0
+        self.rank_decays = 0
         if table is not None:
             self.bind(table)
 
@@ -117,6 +195,7 @@ class TupleSpaceClassifier:
             self._rank_dirty = True
         values = subtable.mask_entry(entry)
         subtable.buckets.setdefault(values, []).append(entry)
+        subtable.index_stages(values)
         if entry.priority > subtable.max_priority:
             subtable.max_priority = entry.priority
             self._rank_dirty = True
@@ -131,6 +210,7 @@ class TupleSpaceClassifier:
         if bucket is None or entry not in bucket:
             return
         bucket.remove(entry)
+        subtable.unindex_stages(values)
         if not bucket:
             del subtable.buckets[values]
         if not subtable.buckets:
@@ -158,10 +238,32 @@ class TupleSpaceClassifier:
             entry.priority == best.priority and entry.flow_id < best.flow_id
         )
 
+    def _account_lookup(self) -> None:
+        self.lookups += 1
+        if self.lookups % self.RANK_DECAY_INTERVAL == 0:
+            self.decay_hits()
+
+    def decay_hits(self) -> None:
+        """Halve every subtable's ranking-hit counter (rank adapts to
+        recent traffic instead of being frozen by history)."""
+        for subtable in self._subtables.values():
+            subtable.hits >>= 1
+        self._rank_dirty = True
+        self.rank_decays += 1
+
     def _probe(self, subtable: _Subtable, key: FlowKey,
-               best: Optional[FlowEntry]) -> Optional[FlowEntry]:
+               best: Optional[FlowEntry],
+               wc=None) -> Optional[FlowEntry]:
         self.subtables_probed += 1
-        bucket = subtable.buckets.get(subtable.mask_key(key))
+        if wc is None:
+            masked = subtable.mask_key(key)
+        else:
+            # Staged probe: unwildcards exactly the fields examined;
+            # None means a stage prefix proved the miss early.
+            masked = subtable.masked_key_staged(key, wc)
+            if masked is None:
+                return best
+        bucket = subtable.buckets.get(masked)
         if not bucket:
             return best
         subtable.hits += 1
@@ -170,7 +272,7 @@ class TupleSpaceClassifier:
                 best = entry
         return best
 
-    def lookup(self, key: FlowKey) -> Optional[FlowEntry]:
+    def lookup(self, key: FlowKey, wc=None) -> Optional[FlowEntry]:
         """Highest-priority matching entry (FIFO tie-break), or None.
 
         Matches :meth:`FlowTable.lookup` exactly, including the
@@ -178,17 +280,24 @@ class TupleSpaceClassifier:
         Subtables are visited best-first, so the scan stops as soon as
         no remaining subtable can outrank the current winner (ties are
         still probed: FIFO order must be honoured across subtables).
+
+        When ``wc`` (a :class:`~repro.vswitch.megaflow.FlowWildcards`)
+        is given, every probe unwildcards the bits it examined.  The
+        early-exit break and the probe order examine *no* packet bits
+        (they depend only on priorities and ranking state), so the
+        accumulated mask covers the whole decision: any key equal under
+        the mask reproduces this traversal exactly.
         """
-        self.lookups += 1
+        self._account_lookup()
         best: Optional[FlowEntry] = None
         for subtable in self._ranked_subtables():
             if best is not None and subtable.max_priority < best.priority:
                 break  # ranked descending: nothing later can win
-            best = self._probe(subtable, key, best)
+            best = self._probe(subtable, key, best, wc)
         return best
 
     def lookup_hinted(
-        self, key: FlowKey, signature: MaskSignature
+        self, key: FlowKey, signature: MaskSignature, wc=None
     ) -> Tuple[Optional[FlowEntry], bool]:
         """Lookup with an SMC hint: probe the hinted subtable first.
 
@@ -200,16 +309,16 @@ class TupleSpaceClassifier:
         """
         hinted = self._subtables.get(signature)
         if hinted is None:
-            return self.lookup(key), False
-        self.lookups += 1
-        best = self._probe(hinted, key, None)
+            return self.lookup(key, wc), False
+        self._account_lookup()
+        best = self._probe(hinted, key, None, wc)
         confirmed = best is not None
         for subtable in self._ranked_subtables():
             if best is not None and subtable.max_priority < best.priority:
                 break
             if subtable is hinted:
                 continue
-            candidate = self._probe(subtable, key, best)
+            candidate = self._probe(subtable, key, best, wc)
             if candidate is not best:
                 best = candidate
                 confirmed = False

@@ -7,13 +7,16 @@ The default fast path is **vectorized**, modelled on OVS's ``dp_netdev``
 flow batches: flow keys are computed for the whole received burst up
 front, packets are grouped per distinct key, one lookup resolves every
 packet of a batch, and the combined action list is built once per batch.
-Lookup itself is three-tiered, exactly like OVS-DPDK:
+Lookup itself is four-tiered, exactly like OVS-DPDK:
 
 1. **EMC** — exact flow key -> full pipeline traversal, precise
    per-flowmod invalidation (:mod:`repro.vswitch.emc`);
 2. **SMC** — key hash -> subtable hint, validated by the classifier
    before being believed (:mod:`repro.vswitch.smc`);
-3. **dpcls** — ranked tuple-space search with goto_table pipeline
+3. **megaflow** — minimally-masked flow key -> full pipeline traversal,
+   the wildcard cache populated by lookup-driven unwildcarding
+   (:mod:`repro.vswitch.megaflow`), priority-safe by construction;
+4. **dpcls** — ranked tuple-space search with goto_table pipeline
    walking (:mod:`repro.vswitch.classifier`).
 
 ``vectorized = False`` selects the legacy scalar path (per-packet
@@ -40,6 +43,7 @@ from repro.packet.mbuf import Mbuf
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.vswitch.classifier import TupleSpaceClassifier, signature_of
 from repro.vswitch.emc import ExactMatchCache, Traversal
+from repro.vswitch.megaflow import FlowWildcards, MegaflowCache
 from repro.vswitch.ports import OvsPort, PortKind
 from repro.vswitch.smc import SignatureMatchCache
 
@@ -60,6 +64,7 @@ class Datapath:
         burst_size: int = 32,
         vectorized: bool = True,
         smc_enabled: bool = True,
+        megaflow_enabled: bool = True,
     ) -> None:
         self.table = table
         self.costs = costs
@@ -68,6 +73,7 @@ class Datapath:
         self.burst_size = burst_size
         self.emc_enabled = emc_enabled
         self.smc_enabled = smc_enabled
+        self.megaflow_enabled = megaflow_enabled
         self.vectorized = vectorized
         # "precise" tombstones only the EMC keys a flowmod affects;
         # "generation" restores the old whole-cache wipe (kept as the
@@ -75,6 +81,7 @@ class Datapath:
         self.emc_invalidation = "precise"
         self.emc = ExactMatchCache()
         self.smc = SignatureMatchCache()
+        self.megaflow = MegaflowCache()
         self.classifier = TupleSpaceClassifier(table)
         table.add_listener(self._on_table_change)
         # Multi-table pipeline (OF1.3 goto_table): table 0 is the entry
@@ -99,10 +106,12 @@ class Datapath:
         self.rx_early_drops: Dict[int, int] = {}
         self._shed_debt: Dict[int, float] = {}
         # Cumulative fast-path statistics (all count packets, so the
-        # scalar and vectorized paths stay comparable; smc_hits is the
-        # subset of classifier_hits resolved through a validated hint).
+        # scalar and vectorized paths stay comparable; smc_hits and
+        # megaflow_hits are the subsets of classifier_hits resolved
+        # through a validated hint / a cached wildcard entry).
         self.emc_hits = 0
         self.smc_hits = 0
+        self.megaflow_hits = 0
         self.classifier_hits = 0
         self.upcalls_no_match = 0
         self.upcalls_action = 0
@@ -121,18 +130,25 @@ class Datapath:
     def _on_table_change(self, kind: str, entry: FlowEntry) -> None:
         if self.emc_invalidation != "precise":
             self.emc.invalidate_all()
+            self.megaflow.flush()
             return
         if kind == "added":
             # A new rule may outrank cached resolutions for any key it
             # covers (keys are stable across the pipeline: goto+set-field
             # combinations are not produced by this control plane).
             evicted = self.emc.invalidate_matching(entry.match)
+            # Any megaflow region overlapping the new rule could now
+            # resolve differently somewhere inside the overlap.
+            mf_evicted = self.megaflow.invalidate_matching(entry.match)
         else:
             # Removed or modified: every traversal containing the entry
             # is stale (its actions or pipeline structure changed).
             evicted = self.emc.invalidate_entry(entry)
+            mf_evicted = self.megaflow.invalidate_entry(entry)
         if evicted and self.coverage is not None:
             self.coverage("emc_precise_eviction", evicted)
+        if mf_evicted and self.coverage is not None:
+            self.coverage("megaflow_precise_eviction", mf_evicted)
 
     def attach_table(self, table_id: int, table: FlowTable) -> None:
         """Register a later pipeline table (goto_table target)."""
@@ -220,25 +236,35 @@ class Datapath:
     def _walk_pipeline(
         self, key: FlowKey, fill: int
     ) -> Tuple[Optional[Traversal], float, str]:
-        """Resolve ``key`` through SMC + the multi-table classifier.
+        """Resolve ``key`` through SMC + megaflow + the classifier.
 
-        Returns ``(traversal, lookup cost, tier)`` where tier is "smc"
-        or "dpcls" and traversal is None on a table-0 miss.  ``fill`` is
-        only used to bulk-count pipeline drops (one per packet served).
+        Returns ``(traversal, lookup cost, tier)`` where tier is "smc",
+        "megaflow" or "dpcls" and traversal is None on a table-0 miss.
+        ``fill`` is only used to bulk-count pipeline drops (one per
+        packet served).
+
+        Tier order at table 0: a validated SMC hint wins first; with no
+        hint the megaflow cache is probed (a hit returns the cached
+        full-pipeline traversal — priority-safe by mask construction,
+        no revalidation); a megaflow miss walks the classifier with a
+        :class:`FlowWildcards` accumulator so the resolution seeds a
+        new minimally-masked megaflow entry covering the whole
+        aggregate, later pipeline tables included.
         """
         costs = self.costs
         entries: List[FlowEntry] = []
         table_id = 0
         cost = 0.0
         tier = "dpcls"
+        wc: Optional[FlowWildcards] = None
         while True:
             if table_id == 0 and self.smc_enabled:
                 signature = self.smc.probe(key)
-                if signature is not None:
-                    entry, confirmed = self.classifier.lookup_hinted(
-                        key, signature)
-                else:
-                    entry, confirmed = self.classifier.lookup(key), False
+            else:
+                signature = None
+            if table_id == 0 and signature is not None:
+                entry, confirmed = self.classifier.lookup_hinted(
+                    key, signature)
                 validated = entry is not None and confirmed
                 self.smc.account(validated)
                 if validated:
@@ -248,8 +274,21 @@ class Datapath:
                     cost += costs.ovs_classifier_hit
                     if entry is not None:
                         self.smc.insert(key, signature_of(entry))
+            elif table_id == 0:
+                if self.smc_enabled:
+                    self.smc.account(False)
+                if self.megaflow_enabled:
+                    cached = self.megaflow.lookup(key)
+                    if cached is not None:
+                        return cached, cost + costs.ovs_megaflow_hit, \
+                            "megaflow"
+                    wc = FlowWildcards()
+                entry = self.classifier.lookup(key, wc=wc)
+                cost += costs.ovs_classifier_hit
+                if self.smc_enabled and entry is not None:
+                    self.smc.insert(key, signature_of(entry))
             else:
-                entry = self.classifiers[table_id].lookup(key)
+                entry = self.classifiers[table_id].lookup(key, wc=wc)
                 cost += costs.ovs_classifier_hit
             if entry is None:
                 if table_id == 0:
@@ -265,7 +304,10 @@ class Datapath:
                 self.pipeline_drops += fill
                 break
             table_id = goto.table_id
-        return tuple(entries), cost, tier
+        traversal = tuple(entries)
+        if wc is not None and entries:
+            self.megaflow.insert(key, wc, traversal)
+        return traversal, cost, tier
 
     def classify(self, mbuf: Mbuf, in_port: int,
                  stages=None) -> "tuple[Optional[tuple], float]":
@@ -345,7 +387,7 @@ class Datapath:
 
         Same contract as :meth:`classify`, but counters and stage
         attribution are bulk-incremented by the batch fill, and the
-        lookup walks all three tiers (EMC -> SMC -> dpcls).
+        lookup walks all four tiers (EMC -> SMC -> megaflow -> dpcls).
         """
         fill = len(batch)
         costs = self.costs
@@ -377,8 +419,12 @@ class Datapath:
         self.classifier_hits += fill
         if tier == "smc":
             self.smc_hits += fill
+        elif tier == "megaflow":
+            self.megaflow_hits += fill
         if stages is not None:
-            stage = "smc_lookup" if tier == "smc" else "classifier_lookup"
+            stage = {"smc": "smc_lookup",
+                     "megaflow": "megaflow_lookup"}.get(
+                         tier, "classifier_lookup")
             stages.add(stage, cost, packets=fill)
         self._trace_batch(batch, "classifier",
                           tables=len(traversal), tier=tier)

@@ -184,6 +184,8 @@ EXPECTED_DIRECTIONS.update({
     "precise_emc_hit_rate": "higher",
     "bypass_nic_mpps": "higher",
     "bypass_latency_us": "lower",
+    "megaflow_hit_rate": "higher",
+    "rule_scale_cycles_per_packet": "lower",
     # overload family
     "bounded_goodput_mpps": "higher",
     "inline_goodput_mpps": "higher",
